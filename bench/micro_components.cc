@@ -1,0 +1,152 @@
+// Microbenchmarks (google-benchmark) for the hot components under the
+// experiments: B+-tree ops, buffer pool touches, PID updates, wire
+// codec, binlog append/scan, event queue churn, and token bucket
+// grants. These bound the simulator's own overhead and document the
+// costs of the core data structures.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/control/pid.h"
+#include "src/net/message.h"
+#include "src/resource/token_bucket.h"
+#include "src/sim/simulator.h"
+#include "src/storage/btree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/wal/binlog.h"
+
+namespace slacker {
+namespace {
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::BTree tree;
+    state.ResumeTiming();
+    for (int64_t k = 0; k < state.range(0); ++k) {
+      tree.Put(storage::Record{static_cast<uint64_t>(k), 1, 0});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsertSequential)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookupUniform(benchmark::State& state) {
+  storage::BTree tree;
+  const uint64_t n = state.range(0);
+  for (uint64_t k = 0; k < n; ++k) tree.Put(storage::Record{k, 1, 0});
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(rng.NextBelow(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookupUniform)->Arg(100000)->Arg(1000000);
+
+void BM_BTreeScan(benchmark::State& state) {
+  storage::BTree tree;
+  for (uint64_t k = 0; k < 100000; ++k) tree.Put(storage::Record{k, 1, 0});
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = tree.Begin(); it.Valid(); it.Next()) sum += it.record().key;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_BTreeScan);
+
+void BM_BufferPoolTouch(benchmark::State& state) {
+  storage::BufferPool pool(storage::BufferPoolOptions{8192});
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Touch(rng.NextBelow(65536), false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPoolTouch);
+
+void BM_PidUpdate(benchmark::State& state) {
+  control::PidConfig config;
+  config.setpoint = 1000.0;
+  control::PidController pid(config, control::PidForm::kVelocity);
+  double pv = 100.0;
+  for (auto _ : state) {
+    pv = 100.0 + 0.1 * pid.Update(pv, 1.0);
+    benchmark::DoNotOptimize(pv);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PidUpdate);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  net::Message msg;
+  msg.type = net::MessageType::kSnapshotChunk;
+  msg.tenant_id = 1;
+  msg.payload_bytes = 256 * 1024;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(state.range(0)); ++i) {
+    msg.rows.push_back(storage::Record{i, i, i * 31});
+  }
+  for (auto _ : state) {
+    const auto frame = net::EncodeMessage(msg);
+    net::Message out;
+    benchmark::DoNotOptimize(net::DecodeMessage(frame, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MessageRoundTrip)->Arg(256);
+
+void BM_BinlogAppendScan(benchmark::State& state) {
+  for (auto _ : state) {
+    wal::Binlog log;
+    for (storage::Lsn lsn = 1; lsn <= 10000; ++lsn) {
+      wal::LogRecord r;
+      r.lsn = lsn;
+      r.type = wal::LogType::kUpdate;
+      r.key = lsn % 97;
+      r.digest = lsn;
+      log.Append(r, 1024);
+    }
+    std::vector<wal::LogRecord> out;
+    benchmark::DoNotOptimize(log.ReadRange(5000, 10000, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_BinlogAppendScan);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.After(static_cast<double>(i % 100), [&fired] { ++fired; });
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_TokenBucketGrants(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    resource::TokenBucketOptions options;
+    options.rate_bytes_per_sec = 1e7;
+    options.burst_bytes = 1 << 20;
+    resource::TokenBucket bucket(&sim, options);
+    int grants = 0;
+    std::function<void()> loop = [&] {
+      if (++grants < 1000) bucket.Acquire(1 << 18, loop);
+    };
+    bucket.Acquire(1 << 18, loop);
+    sim.RunAll();
+    benchmark::DoNotOptimize(grants);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TokenBucketGrants);
+
+}  // namespace
+}  // namespace slacker
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+#include "src/backup/delta_shipper.h"
+
+namespace slacker::backup {
+
+DeltaShipper::DeltaShipper(const wal::Binlog* source_log,
+                           storage::Lsn applied_lsn)
+    : source_log_(source_log), applied_lsn_(applied_lsn) {}
+
+uint64_t DeltaShipper::PendingBytes() const {
+  return source_log_->BytesInRange(applied_lsn_ + 1, source_log_->last_lsn());
+}
+
+Result<DeltaRound> DeltaShipper::ReadRound() {
+  DeltaRound round;
+  round.from = applied_lsn_ + 1;
+  round.to = source_log_->last_lsn();
+  if (round.to < round.from) {
+    round.to = applied_lsn_;
+    return round;  // Caught up; empty round.
+  }
+  SLACKER_RETURN_IF_ERROR(
+      source_log_->ReadRange(round.from, round.to, &round.records));
+  round.bytes = source_log_->BytesInRange(round.from, round.to);
+  ++rounds_shipped_;
+  bytes_shipped_ += round.bytes;
+  return round;
+}
+
+void DeltaShipper::MarkApplied(storage::Lsn to) {
+  if (to > applied_lsn_) applied_lsn_ = to;
+}
+
+}  // namespace slacker::backup

@@ -1,0 +1,57 @@
+#ifndef SLACKER_BACKUP_DELTA_SHIPPER_H_
+#define SLACKER_BACKUP_DELTA_SHIPPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/tenant_db.h"
+#include "src/wal/binlog.h"
+#include "src/wal/recovery.h"
+
+namespace slacker::backup {
+
+/// One delta round's extent.
+struct DeltaRound {
+  storage::Lsn from = 0;
+  storage::Lsn to = 0;
+  std::vector<wal::LogRecord> records;
+  uint64_t bytes = 0;
+
+  bool empty() const { return records.empty(); }
+};
+
+/// Reads successive binlog ranges from the source — the §2.3.2 delta
+/// loop: "each delta brings the target up-to-date at the point where
+/// the delta began executing, then the subsequent delta handles queries
+/// executed during the application of the previous delta."
+class DeltaShipper {
+ public:
+  /// Rounds start after `applied_lsn` (the snapshot's start LSN).
+  DeltaShipper(const wal::Binlog* source_log, storage::Lsn applied_lsn);
+
+  /// Bytes of log not yet shipped.
+  uint64_t PendingBytes() const;
+  storage::Lsn applied_lsn() const { return applied_lsn_; }
+
+  /// Reads everything committed since the last round. An empty result
+  /// means the target is fully caught up.
+  Result<DeltaRound> ReadRound();
+
+  /// Marks a round durable at the target; the next round starts after
+  /// `to`.
+  void MarkApplied(storage::Lsn to);
+
+  int rounds_shipped() const { return rounds_shipped_; }
+  uint64_t bytes_shipped() const { return bytes_shipped_; }
+
+ private:
+  const wal::Binlog* source_log_;
+  storage::Lsn applied_lsn_;
+  int rounds_shipped_ = 0;
+  uint64_t bytes_shipped_ = 0;
+};
+
+}  // namespace slacker::backup
+
+#endif  // SLACKER_BACKUP_DELTA_SHIPPER_H_

@@ -1,0 +1,51 @@
+#include "src/backup/hot_backup.h"
+
+#include <algorithm>
+
+namespace slacker::backup {
+
+HotBackupStream::HotBackupStream(engine::TenantDb* source,
+                                 HotBackupOptions options)
+    : source_(source),
+      options_(options),
+      start_lsn_(source->last_lsn()),
+      estimated_rows_(source->table().size()) {
+  const uint64_t record_bytes = source->config().layout.record_bytes;
+  rows_per_chunk_ = std::max<uint64_t>(1, options_.chunk_bytes / record_bytes);
+  done_ = source_->table().empty();
+}
+
+uint64_t HotBackupStream::EstimatedTotalChunks() const {
+  return (estimated_rows_ + rows_per_chunk_ - 1) / rows_per_chunk_;
+}
+
+HotBackupStream::Chunk HotBackupStream::NextChunk() {
+  Chunk chunk;
+  chunk.seq = next_seq_++;
+  chunk.rows.reserve(rows_per_chunk_);
+  // Resume the scan at the cursor key: robust against rows inserted or
+  // deleted behind the cursor while the backup runs.
+  auto it = source_->table().Seek(next_key_);
+  uint64_t copied = 0;
+  while (it.Valid() && copied < rows_per_chunk_) {
+    chunk.rows.push_back(it.record());
+    ++copied;
+    it.Next();
+  }
+  if (!chunk.rows.empty()) {
+    next_key_ = chunk.rows.back().key + 1;
+  }
+  done_ = !it.Valid();
+  chunk.logical_bytes =
+      static_cast<uint64_t>(chunk.rows.size()) *
+      source_->config().layout.record_bytes;
+  bytes_produced_ += chunk.logical_bytes;
+  return chunk;
+}
+
+SimTime PrepareCost(uint64_t redo_bytes, const PrepareOptions& options) {
+  return options.base_seconds +
+         static_cast<double>(redo_bytes) / options.apply_bytes_per_sec;
+}
+
+}  // namespace slacker::backup

@@ -1,0 +1,51 @@
+#include "src/common/checksum.h"
+
+#include <array>
+
+namespace slacker {
+namespace {
+
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  constexpr uint32_t kPoly = 0x82f63b78;  // Castagnoli, reflected.
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = MakeCrc32cTable();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const std::vector<uint8_t>& data, uint32_t seed) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+uint64_t Fnv1a64(const uint8_t* data, size_t len, uint64_t seed) {
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t HashCombine(uint64_t digest, uint64_t value) {
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = (value >> (i * 8)) & 0xff;
+  return Fnv1a64(bytes, sizeof(bytes), digest);
+}
+
+}  // namespace slacker

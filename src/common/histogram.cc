@@ -1,0 +1,114 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace slacker {
+
+Histogram::Histogram(double min_value, double max_value,
+                     int buckets_per_decade)
+    : min_value_(min_value), max_value_(max_value) {
+  log_min_ = std::log10(min_value_);
+  bucket_log_width_ = 1.0 / buckets_per_decade;
+  const double decades = std::log10(max_value_) - log_min_;
+  const auto n = static_cast<size_t>(
+      std::ceil(decades * buckets_per_decade)) + 2;
+  buckets_.assign(n, 0);
+  bucket_upper_.resize(n);
+  // Bucket 0 catches values below min_value_; the last bucket catches
+  // values at or above max_value_.
+  bucket_upper_[0] = min_value_;
+  for (size_t i = 1; i + 1 < n; ++i) {
+    bucket_upper_[i] =
+        std::pow(10.0, log_min_ + static_cast<double>(i) * bucket_log_width_);
+  }
+  bucket_upper_[n - 1] = max_value_;
+}
+
+size_t Histogram::BucketFor(double value) const {
+  if (value < min_value_) return 0;
+  if (value >= max_value_) return buckets_.size() - 1;
+  const auto idx = static_cast<size_t>(
+      (std::log10(value) - log_min_) / bucket_log_width_) + 1;
+  return std::min(idx, buckets_.size() - 1);
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.size() != other.buckets_.size()) {
+    // Mismatched geometry: re-add by bucket midpoint (approximate).
+    for (size_t i = 0; i < other.buckets_.size(); ++i) {
+      for (uint64_t c = 0; c < other.buckets_[i]; ++c) {
+        Add(other.bucket_upper_[i]);
+      }
+    }
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double lower = i == 0 ? 0.0 : bucket_upper_[i - 1];
+      const double upper = bucket_upper_[i];
+      const double in_bucket = static_cast<double>(buckets_[i]);
+      const double frac = in_bucket > 0 ? (target - cumulative) / in_bucket
+                                        : 0.0;
+      double value = lower + (upper - lower) * frac;
+      return std::clamp(value, min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), mean(),
+                Percentile(50), Percentile(95), Percentile(99), max());
+  return buf;
+}
+
+}  // namespace slacker

@@ -1,0 +1,55 @@
+#ifndef SLACKER_COMMON_HISTOGRAM_H_
+#define SLACKER_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slacker {
+
+/// Fixed-memory latency histogram with exponentially growing bucket
+/// bounds (RocksDB-style). Suitable for unbounded streams where
+/// PercentileTracker would grow without limit. Values are in arbitrary
+/// units (this codebase uses milliseconds).
+class Histogram {
+ public:
+  /// Buckets cover [0, `max_value`] with `buckets_per_decade` buckets
+  /// per power of ten, starting at `min_value`.
+  Histogram(double min_value = 0.1, double max_value = 1e7,
+            int buckets_per_decade = 20);
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Multi-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  size_t BucketFor(double value) const;
+
+  double min_value_;
+  double max_value_;
+  double log_min_;
+  double bucket_log_width_;
+  std::vector<uint64_t> buckets_;
+  std::vector<double> bucket_upper_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace slacker
+
+#endif  // SLACKER_COMMON_HISTOGRAM_H_

@@ -1,0 +1,66 @@
+#include "src/control/latency_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace slacker::control {
+
+LatencyMonitor::LatencyMonitor(SimTime window) : window_(window) {}
+
+void LatencyMonitor::Record(SimTime now, double latency_ms) {
+  window_.Add(now, latency_ms);
+  samples_.emplace_back(now, latency_ms);
+  while (!samples_.empty() && samples_.front().first <= now - window()) {
+    samples_.pop_front();
+  }
+  ++total_recorded_;
+  // Keep the "last known average" fresh even if nobody polls between
+  // recordings, so a later empty-window read reports recent reality.
+  last_average_ = window_.MeanAt(now);
+}
+
+void LatencyMonitor::SetOutstandingProbe(
+    std::function<double(SimTime)> probe) {
+  probe_ = std::move(probe);
+}
+
+double LatencyMonitor::WindowAverageMs(SimTime now) {
+  if (window_.CountAt(now) > 0) {
+    last_average_ = window_.MeanAt(now);
+    return last_average_;
+  }
+  // Nothing completed recently. If transactions are stuck in flight,
+  // their age is a *lower bound* on the latency they will report —
+  // use it so the controller sees the overload.
+  if (probe_) {
+    const double pending_age = probe_(now);
+    if (pending_age > 0.0) {
+      return std::max(pending_age, last_average_);
+    }
+  }
+  return last_average_;
+}
+
+size_t LatencyMonitor::WindowCount(SimTime now) {
+  return window_.CountAt(now);
+}
+
+double LatencyMonitor::WindowPercentileMs(SimTime now, double percentile) {
+  while (!samples_.empty() && samples_.front().first <= now - window()) {
+    samples_.pop_front();
+  }
+  if (samples_.empty()) return WindowAverageMs(now);
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const auto& [t, v] : samples_) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  if (percentile <= 0.0) return values.front();
+  if (percentile >= 100.0) return values.back();
+  const auto rank = static_cast<size_t>(
+      std::ceil(percentile / 100.0 * static_cast<double>(values.size())));
+  return values[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace slacker::control

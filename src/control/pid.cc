@@ -1,0 +1,72 @@
+#include "src/control/pid.h"
+
+#include <algorithm>
+
+namespace slacker::control {
+
+Status PidConfig::Validate() const {
+  if (kp < 0 || ki < 0 || kd < 0) {
+    return Status::InvalidArgument("PID gains must be non-negative");
+  }
+  if (output_min >= output_max) {
+    return Status::InvalidArgument("output_min must be below output_max");
+  }
+  if (setpoint <= 0) {
+    return Status::InvalidArgument("setpoint must be positive");
+  }
+  return Status::Ok();
+}
+
+PidController::PidController(const PidConfig& config, PidForm form)
+    : config_(config), form_(form) {
+  Reset(config.output_min);
+}
+
+void PidController::Reset(double initial_output) {
+  output_ = Clamp(initial_output);
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  prev_prev_error_ = 0.0;
+  steps_ = 0;
+}
+
+double PidController::Clamp(double v) const {
+  return std::clamp(v, config_.output_min, config_.output_max);
+}
+
+double PidController::Update(double process_variable, double dt) {
+  if (dt <= 0.0) return output_;
+  const double error = config_.setpoint - process_variable;
+
+  if (form_ == PidForm::kPositional) {
+    integral_ += error * dt;
+    // Anti-windup: keep the integral term alone within actuator range.
+    if (config_.ki > 0.0) {
+      const double cap = config_.output_max / config_.ki;
+      const double floor = config_.output_min / config_.ki;
+      integral_ = std::clamp(integral_, floor - std::abs(floor), cap);
+    }
+    const double derivative = steps_ == 0 ? 0.0 : (error - prev_error_) / dt;
+    output_ = Clamp(config_.kp * error + config_.ki * integral_ +
+                    config_.kd * derivative);
+  } else {
+    // Velocity algorithm: no error sum, output moves by a delta. On the
+    // very first step there is no error history, so only the integral
+    // path contributes (Δe terms need previous samples).
+    double delta = config_.ki * error * dt;
+    if (steps_ >= 1) {
+      delta += config_.kp * (error - prev_error_);
+    }
+    if (steps_ >= 2) {
+      delta += config_.kd * (error - 2.0 * prev_error_ + prev_prev_error_) / dt;
+    }
+    output_ = Clamp(output_ + delta);
+  }
+
+  prev_prev_error_ = prev_error_;
+  prev_error_ = error;
+  ++steps_;
+  return output_;
+}
+
+}  // namespace slacker::control

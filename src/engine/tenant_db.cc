@@ -1,0 +1,325 @@
+#include "src/engine/tenant_db.h"
+
+#include <algorithm>
+
+#include <utility>
+
+#include "src/common/checksum.h"
+#include "src/storage/record.h"
+
+namespace slacker::engine {
+
+TenantDb::TenantDb(sim::Simulator* sim, resource::DiskModel* disk,
+                   resource::CpuModel* cpu, TenantConfig config)
+    : sim_(sim),
+      disk_(disk),
+      cpu_(cpu),
+      config_(config),
+      own_pool_(storage::BufferPoolOptions{config.BufferPoolPages()}),
+      pool_(&own_pool_),
+      next_insert_key_(config.layout.record_count) {}
+
+TenantDb::TenantDb(sim::Simulator* sim, resource::DiskModel* disk,
+                   resource::CpuModel* cpu, TenantConfig config,
+                   storage::BufferPool* shared_pool)
+    : sim_(sim),
+      disk_(disk),
+      cpu_(cpu),
+      config_(config),
+      own_pool_(storage::BufferPoolOptions{0}),
+      pool_(shared_pool),
+      next_insert_key_(config.layout.record_count) {}
+
+uint64_t TenantDb::PoolPageId(uint64_t page) const {
+  // Namespacing only matters when the pool is shared; harmless always.
+  return (config_.tenant_id << 40) | page;
+}
+
+void TenantDb::Load() {
+  table_.Clear();
+  if (!uses_shared_pool()) pool_->Clear();
+  for (uint64_t key = 0; key < config_.layout.record_count; ++key) {
+    table_.Put(storage::Record{
+        key, 0, storage::RowDigest(key, 0, config_.value_seed)});
+  }
+}
+
+void TenantDb::ExecuteOp(const Operation& op, OpCallback done) {
+  if (frozen_) {
+    frozen_queue_.push_back(PendingOp{op, std::move(done)});
+    return;
+  }
+  StartOp(op, std::move(done));
+}
+
+void TenantDb::StartOp(const Operation& op, OpCallback done) {
+  if (op.type == OpType::kScan) {
+    StartScan(op, std::move(done));
+    return;
+  }
+  ++in_flight_;
+  // Stage 1: CPU (parse/plan/execute).
+  cpu_->Submit(config_.cpu_per_op, [this, op, done = std::move(done)]() mutable {
+    // Stage 2: page access through the buffer pool.
+    const bool is_write = op.type != OpType::kRead;
+    const uint64_t page = PoolPageId(config_.layout.PageOf(op.key));
+    const storage::PageAccess access = pool_->Touch(page, is_write);
+    if (access.evicted_dirty) {
+      // Background write-back of the victim page; nobody waits on it,
+      // but it does occupy the shared disk.
+      disk_->Submit(resource::IoKind::kRandomWrite, config_.layout.page_bytes,
+                    nullptr, config_.tenant_id);
+    }
+    if (access.hit) {
+      FinishOp(op, std::move(done));
+      return;
+    }
+    // Stage 3: synchronous page read on miss.
+    disk_->Submit(resource::IoKind::kRandomRead, config_.layout.page_bytes,
+                  [this, op, done = std::move(done)]() mutable {
+                    FinishOp(op, std::move(done));
+                  },
+                  config_.tenant_id);
+  });
+}
+
+void TenantDb::StartScan(const Operation& op, OpCallback done) {
+  ++in_flight_;
+  const uint64_t length = std::max<uint64_t>(op.scan_length, 1);
+  const uint64_t first_page = config_.layout.PageOf(op.key);
+  const uint64_t last_key = op.key + length - 1;
+  const uint64_t last_page =
+      std::min(config_.layout.PageOf(last_key),
+               config_.layout.TotalPages() == 0
+                   ? first_page
+                   : config_.layout.TotalPages() - 1);
+  // One planning charge, then the pages stream in order; each page is
+  // a buffer-pool touch and, on a miss, a sequential read (consecutive
+  // pages of one scan keep the head position via the tenant stream id).
+  cpu_->Submit(config_.cpu_per_op,
+               [this, first_page, last_page, op, done = std::move(done)]()
+                   mutable {
+                 ScanNextPage(first_page, last_page, op, std::move(done));
+               });
+}
+
+void TenantDb::ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
+                            OpCallback done) {
+  if (page > last_page) {
+    // Functional read of the range (counts rows; values are digests).
+    uint64_t seen = 0;
+    for (auto it = table_.Seek(op.key);
+         it.Valid() && seen < std::max<uint64_t>(op.scan_length, 1);
+         it.Next()) {
+      ++seen;
+    }
+    ++ops_executed_;
+    --in_flight_;
+    MaybeNotifyDrained();
+    if (done) done(Status::Ok(), WrittenRow{});
+    return;
+  }
+  const storage::PageAccess access =
+      pool_->Touch(PoolPageId(page), /*make_dirty=*/false);
+  if (access.evicted_dirty) {
+    disk_->Submit(resource::IoKind::kRandomWrite, config_.layout.page_bytes,
+                  nullptr, config_.tenant_id);
+  }
+  if (access.hit) {
+    ScanNextPage(page + 1, last_page, op, std::move(done));
+    return;
+  }
+  disk_->Submit(resource::IoKind::kSequentialRead, config_.layout.page_bytes,
+                [this, page, last_page, op, done = std::move(done)]() mutable {
+                  ScanNextPage(page + 1, last_page, op, std::move(done));
+                },
+                config_.tenant_id);
+}
+
+void TenantDb::FinishOp(const Operation& op, OpCallback done) {
+  WrittenRow written;
+  Status status = Status::Ok();
+  if (op.type == OpType::kRead) {
+    // Point lookup; absent keys are a successful empty read (YCSB keys
+    // are drawn from the loaded range, but deletes can create misses).
+    (void)table_.Get(op.key);
+  } else {
+    written = ApplyWrite(op);
+  }
+  ++ops_executed_;
+  --in_flight_;
+  MaybeNotifyDrained();
+  if (done) done(status, written);
+}
+
+WrittenRow TenantDb::ApplyWrite(const Operation& op) {
+  WrittenRow written;
+  const storage::Lsn lsn = next_lsn_++;
+  written.lsn = lsn;
+  wal::LogRecord log;
+  log.lsn = lsn;
+  log.txn_id = 0;  // Filled per-op; commit records carry the txn id.
+  switch (op.type) {
+    case OpType::kUpdate: {
+      written.key = op.key;
+      written.digest = storage::RowDigest(op.key, lsn, config_.value_seed);
+      table_.Put(storage::Record{op.key, lsn, written.digest});
+      log.type = wal::LogType::kUpdate;
+      log.key = op.key;
+      log.digest = written.digest;
+      break;
+    }
+    case OpType::kInsert: {
+      const uint64_t key = next_insert_key_++;
+      written.key = key;
+      written.digest = storage::RowDigest(key, lsn, config_.value_seed);
+      table_.Put(storage::Record{key, lsn, written.digest});
+      log.type = wal::LogType::kInsert;
+      log.key = key;
+      log.digest = written.digest;
+      break;
+    }
+    case OpType::kDelete: {
+      written.key = op.key;
+      written.deleted = true;
+      table_.Erase(op.key);
+      log.type = wal::LogType::kDelete;
+      log.key = op.key;
+      break;
+    }
+    case OpType::kRead:
+    case OpType::kScan:  // Scans never reach ApplyWrite.
+      break;
+  }
+  // Binlog append is functional bookkeeping here; durability cost is
+  // charged once per transaction in Commit(). Row-changing entries are
+  // accounted at full row-image size (row-based replication).
+  const bool carries_image =
+      log.type == wal::LogType::kInsert || log.type == wal::LogType::kUpdate;
+  binlog_.Append(log, carries_image ? config_.layout.record_bytes : 0);
+  return written;
+}
+
+void TenantDb::Commit(uint64_t txn_id, std::function<void()> done) {
+  wal::LogRecord commit;
+  commit.lsn = next_lsn_++;
+  commit.type = wal::LogType::kCommit;
+  commit.txn_id = txn_id;
+  binlog_.Append(commit);
+  sim_->After(config_.commit_latency, std::move(done));
+}
+
+void TenantDb::Freeze(std::function<void()> drained) {
+  frozen_ = true;
+  drain_waiters_.push_back(std::move(drained));
+  MaybeNotifyDrained();
+}
+
+void TenantDb::MaybeNotifyDrained() {
+  if (!frozen_ || in_flight_ > 0 || drain_waiters_.empty()) return;
+  auto waiters = std::move(drain_waiters_);
+  drain_waiters_.clear();
+  for (auto& w : waiters) {
+    if (w) sim_->After(0.0, std::move(w));
+  }
+}
+
+void TenantDb::Unfreeze() {
+  frozen_ = false;
+  // Admit everything that queued behind the lock, in order.
+  auto queued = std::move(frozen_queue_);
+  frozen_queue_.clear();
+  for (auto& pending : queued) {
+    StartOp(pending.op, std::move(pending.done));
+  }
+}
+
+void TenantDb::FailQueued() {
+  auto queued = std::move(frozen_queue_);
+  frozen_queue_.clear();
+  for (auto& pending : queued) {
+    if (pending.done) {
+      // Defer so callers see consistent reentrancy with the success path.
+      sim_->After(0.0, [done = std::move(pending.done)] {
+        done(Status::Unavailable("tenant migrated away"), WrittenRow{});
+      });
+    }
+  }
+}
+
+void TenantDb::ChargeSequentialRead(uint64_t bytes, uint64_t stream_id,
+                                    std::function<void()> done) {
+  disk_->Submit(resource::IoKind::kSequentialRead, bytes, std::move(done),
+                stream_id);
+}
+
+void TenantDb::ChargeSequentialWrite(uint64_t bytes, uint64_t stream_id,
+                                     std::function<void()> done) {
+  disk_->Submit(resource::IoKind::kSequentialWrite, bytes, std::move(done),
+                stream_id);
+}
+
+void TenantDb::ChargeCpu(SimTime service, std::function<void()> done) {
+  cpu_->Submit(service, std::move(done));
+}
+
+void TenantDb::WarmBufferPool() {
+  const uint64_t total = config_.layout.TotalPages();
+  const uint64_t frames = pool_->capacity();
+  const uint64_t to_warm = std::min(total, frames);
+  // Which pages are resident is immaterial under uniform access; what
+  // matters is that the pool is full, giving hit rate ≈ frames/total.
+  // (Under a shared pool, tenants warming in turn contend for frames —
+  // exactly the steady state they will also contend for in service.)
+  for (uint64_t page = 0; page < to_warm; ++page) {
+    pool_->Touch(PoolPageId(page), /*make_dirty=*/false);
+  }
+  pool_->ResetStats();
+}
+
+int TenantDb::PinBinlog(storage::Lsn from_lsn) {
+  const int token = next_pin_token_++;
+  binlog_pins_[token] = from_lsn;
+  return token;
+}
+
+void TenantDb::UnpinBinlog(int token) { binlog_pins_.erase(token); }
+
+storage::Lsn TenantDb::PurgeBinlog(storage::Lsn upto) {
+  storage::Lsn limit = upto;
+  for (const auto& [token, lsn] : binlog_pins_) {
+    limit = std::min(limit, lsn);
+  }
+  binlog_.Truncate(limit);
+  return binlog_.first_lsn();
+}
+
+void TenantDb::SyncCursorsAfterIngest(storage::Lsn source_last_lsn) {
+  if (source_last_lsn + 1 > next_lsn_) next_lsn_ = source_last_lsn + 1;
+  const Result<uint64_t> max_key = table_.MaxKey();
+  if (max_key.ok() && *max_key + 1 > next_insert_key_) {
+    next_insert_key_ = *max_key + 1;
+  }
+}
+
+uint64_t TenantDb::StateDigest() const {
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  for (auto it = table_.Begin(); it.Valid(); it.Next()) {
+    const storage::Record& r = it.record();
+    digest = HashCombine(digest, r.key);
+    digest = HashCombine(digest, r.lsn);
+    digest = HashCombine(digest, r.digest);
+  }
+  return digest;
+}
+
+uint64_t TenantDb::DataBytes() const {
+  return config_.layout.PagesFor(table_.size()) * config_.layout.page_bytes;
+}
+
+storage::DataDirectory TenantDb::Directory() const {
+  return storage::DataDirectory::ForTenant(config_.tenant_id, DataBytes(),
+                                           binlog_.total_bytes());
+}
+
+}  // namespace slacker::engine

@@ -1,0 +1,190 @@
+#ifndef SLACKER_ENGINE_TENANT_DB_H_
+#define SLACKER_ENGINE_TENANT_DB_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/engine/tenant_config.h"
+#include "src/resource/cpu.h"
+#include "src/resource/disk.h"
+#include "src/sim/simulator.h"
+#include "src/storage/btree.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/data_directory.h"
+#include "src/wal/binlog.h"
+
+namespace slacker::engine {
+
+/// A single query operation (one step of a YCSB transaction).
+enum class OpType { kRead, kUpdate, kInsert, kDelete, kScan };
+
+struct Operation {
+  OpType type = OpType::kRead;
+  uint64_t key = 0;
+  /// kScan: number of consecutive rows to read starting at `key`
+  /// (YCSB workload E's SCAN operation).
+  uint64_t scan_length = 0;
+};
+
+/// Row image returned for write operations so clients can verify
+/// end-to-end durability across a migration.
+struct WrittenRow {
+  uint64_t key = 0;
+  storage::Lsn lsn = 0;
+  uint64_t digest = 0;  // 0 for deletes.
+  bool deleted = false;
+};
+
+/// One tenant's database instance: the mysqld-per-tenant analog from
+/// §2.2. Owns the clustered table (B+-tree), an LRU buffer pool, and
+/// the binlog. Operations execute *functionally* inline (real reads and
+/// writes against the tree) while their *time* is charged to the
+/// server's shared disk and CPU via the simulator — so both data
+/// correctness and latency behaviour are first-class.
+class TenantDb {
+ public:
+  using OpCallback = std::function<void(Status, const WrittenRow&)>;
+
+  /// Process-level multitenancy (§2.1, the paper's model): this
+  /// instance owns a dedicated buffer pool sized by
+  /// config.buffer_pool_bytes.
+  TenantDb(sim::Simulator* sim, resource::DiskModel* disk,
+           resource::CpuModel* cpu, TenantConfig config);
+
+  /// Shared-process multitenancy (§6/§8 extension — "one MySQL daemon
+  /// handling all tenants"): page accesses go through `shared_pool`,
+  /// which other tenants on the server also use. Page ids are
+  /// namespaced by tenant, but *capacity* is contended — a hot
+  /// neighbour evicts this tenant's pages, the interference the paper's
+  /// process-level choice avoids. `shared_pool` must outlive this.
+  TenantDb(sim::Simulator* sim, resource::DiskModel* disk,
+           resource::CpuModel* cpu, TenantConfig config,
+           storage::BufferPool* shared_pool);
+
+  TenantDb(const TenantDb&) = delete;
+  TenantDb& operator=(const TenantDb&) = delete;
+
+  /// Pre-populates layout.record_count rows (LSN 0) and marks the
+  /// buffer pool cold. Instantaneous in simulated time (the paper
+  /// pre-populates before measuring, too).
+  void Load();
+
+  /// Fills the buffer pool to capacity with (clean) resident pages —
+  /// the steady state a long-running tenant reaches, so experiments
+  /// measure equilibrium hit rates instead of a cold-start transient.
+  void WarmBufferPool();
+
+  /// Executes one operation; `done` fires when its CPU and I/O are
+  /// complete. While frozen, operations queue and wait (global read
+  /// lock semantics).
+  void ExecuteOp(const Operation& op, OpCallback done);
+
+  /// Appends the transaction commit record and charges the group-commit
+  /// latency; `done` fires when the commit is durable.
+  void Commit(uint64_t txn_id, std::function<void()> done);
+
+  /// Stops admitting operations; `drained` fires once in-flight work
+  /// completes (the freeze step of handover / stop-and-copy).
+  void Freeze(std::function<void()> drained);
+  void Unfreeze();
+  /// Fails every operation queued behind the freeze with kUnavailable —
+  /// used after handover when this replica stops being authoritative
+  /// (clients re-resolve and retry at the target).
+  void FailQueued();
+  bool frozen() const { return frozen_; }
+
+  /// Direct (non-simulated) access for backup/replication machinery.
+  const storage::BTree& table() const { return table_; }
+  storage::BTree* mutable_table() { return &table_; }
+  wal::Binlog* binlog() { return &binlog_; }
+  const wal::Binlog& binlog() const { return binlog_; }
+  /// The pool page accesses go through (dedicated or shared).
+  storage::BufferPool* buffer_pool() { return pool_; }
+  bool uses_shared_pool() const { return pool_ != &own_pool_; }
+
+  /// Charges a bulk sequential read of `bytes` against this tenant's
+  /// disk as stream `stream_id` (used by the hot-backup streamer).
+  void ChargeSequentialRead(uint64_t bytes, uint64_t stream_id,
+                            std::function<void()> done);
+  void ChargeSequentialWrite(uint64_t bytes, uint64_t stream_id,
+                             std::function<void()> done);
+  /// Charges CPU work (backup prepare / delta apply).
+  void ChargeCpu(SimTime service, std::function<void()> done);
+
+  const TenantConfig& config() const { return config_; }
+  storage::Lsn last_lsn() const { return binlog_.last_lsn(); }
+
+  /// Fast-forwards the LSN and insert-key cursors after this instance
+  /// ingests migrated state, so post-handover writes continue the
+  /// source's sequences instead of colliding with them.
+  void SyncCursorsAfterIngest(storage::Lsn source_last_lsn);
+
+  /// Binlog retention. A migration pins the log at its snapshot-start
+  /// LSN so delta rounds can always read their range; purges only
+  /// discard entries below every pin. Returns a token for UnpinBinlog.
+  int PinBinlog(storage::Lsn from_lsn);
+  void UnpinBinlog(int token);
+  /// Discards binlog entries with lsn < min(upto, lowest pin). Returns
+  /// the first LSN actually retained.
+  storage::Lsn PurgeBinlog(storage::Lsn upto);
+
+  /// Order-sensitive digest over (key, lsn, digest) of every row; equal
+  /// digests mean byte-identical logical tables.
+  uint64_t StateDigest() const;
+
+  /// Logical bytes of table data (what a migration must copy).
+  uint64_t DataBytes() const;
+  /// Current data-directory inventory (table data + binlog).
+  storage::DataDirectory Directory() const;
+
+  uint64_t ops_executed() const { return ops_executed_; }
+  size_t queued_ops() const { return frozen_queue_.size(); }
+  int in_flight() const { return in_flight_; }
+
+ private:
+  struct PendingOp {
+    Operation op;
+    OpCallback done;
+  };
+
+  void StartOp(const Operation& op, OpCallback done);
+  void StartScan(const Operation& op, OpCallback done);
+  void ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
+                    OpCallback done);
+  void FinishOp(const Operation& op, OpCallback done);
+  WrittenRow ApplyWrite(const Operation& op);
+  void MaybeNotifyDrained();
+  /// Pool-namespace id for this tenant's `page` (distinct across
+  /// tenants sharing one pool).
+  uint64_t PoolPageId(uint64_t page) const;
+
+  sim::Simulator* sim_;
+  resource::DiskModel* disk_;
+  resource::CpuModel* cpu_;
+  TenantConfig config_;
+
+  storage::BTree table_;
+  storage::BufferPool own_pool_;
+  storage::BufferPool* pool_;  // == &own_pool_ unless shared.
+  wal::Binlog binlog_;
+  storage::Lsn next_lsn_ = 1;
+  uint64_t next_insert_key_;
+
+  std::map<int, storage::Lsn> binlog_pins_;
+  int next_pin_token_ = 1;
+
+  bool frozen_ = false;
+  std::deque<PendingOp> frozen_queue_;
+  int in_flight_ = 0;
+  std::vector<std::function<void()>> drain_waiters_;
+  uint64_t ops_executed_ = 0;
+};
+
+}  // namespace slacker::engine
+
+#endif  // SLACKER_ENGINE_TENANT_DB_H_

@@ -1,0 +1,86 @@
+#include "src/net/message.h"
+
+#include "src/common/bytes.h"
+#include "src/net/wire.h"
+
+namespace slacker::net {
+
+std::vector<uint8_t> EncodeMessage(const Message& message) {
+  ByteWriter writer;
+  writer.PutU8(static_cast<uint8_t>(message.type));
+  writer.PutVarint64(message.tenant_id);
+  writer.PutVarint64(message.target_server);
+  writer.PutVarint64(message.lsn);
+  writer.PutVarint64(message.chunk_seq);
+  writer.PutVarint64(message.payload_bytes);
+  writer.PutFixed64(message.digest);
+  writer.PutString(message.error);
+  writer.PutVarint64(message.config.page_bytes);
+  writer.PutVarint64(message.config.record_bytes);
+  writer.PutVarint64(message.config.record_count);
+  writer.PutVarint64(message.config.buffer_pool_bytes);
+  writer.PutVarint64(message.config.value_seed);
+  writer.PutDouble(message.config.cpu_per_op);
+  writer.PutDouble(message.config.commit_latency);
+  writer.PutVarint64(message.rows.size());
+  for (const storage::Record& r : message.rows) {
+    writer.PutVarint64(r.key);
+    writer.PutVarint64(r.lsn);
+    writer.PutFixed64(r.digest);
+  }
+  writer.PutVarint64(message.log_records.size());
+  for (const wal::LogRecord& r : message.log_records) {
+    r.EncodeTo(&writer);
+  }
+  return EncodeFrame(writer.Release());
+}
+
+Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out) {
+  std::vector<uint8_t> payload;
+  SLACKER_RETURN_IF_ERROR(DecodeFrame(frame, &payload));
+  ByteReader reader(payload);
+  uint8_t type;
+  SLACKER_RETURN_IF_ERROR(reader.GetU8(&type));
+  if (type < 1 || type > 12) return Status::Corruption("bad message type");
+  out->type = static_cast<MessageType>(type);
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->tenant_id));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->target_server));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->lsn));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->chunk_seq));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->payload_bytes));
+  SLACKER_RETURN_IF_ERROR(reader.GetFixed64(&out->digest));
+  SLACKER_RETURN_IF_ERROR(reader.GetString(&out->error));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->config.page_bytes));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->config.record_bytes));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->config.record_count));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->config.buffer_pool_bytes));
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->config.value_seed));
+  SLACKER_RETURN_IF_ERROR(reader.GetDouble(&out->config.cpu_per_op));
+  SLACKER_RETURN_IF_ERROR(reader.GetDouble(&out->config.commit_latency));
+  uint64_t row_count;
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&row_count));
+  out->rows.clear();
+  out->rows.reserve(row_count);
+  for (uint64_t i = 0; i < row_count; ++i) {
+    storage::Record r;
+    SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&r.key));
+    SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&r.lsn));
+    SLACKER_RETURN_IF_ERROR(reader.GetFixed64(&r.digest));
+    out->rows.push_back(r);
+  }
+  uint64_t log_count;
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&log_count));
+  out->log_records.clear();
+  out->log_records.reserve(log_count);
+  for (uint64_t i = 0; i < log_count; ++i) {
+    wal::LogRecord r;
+    SLACKER_RETURN_IF_ERROR(wal::LogRecord::DecodeFrom(&reader, &r));
+    out->log_records.push_back(r);
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes in message");
+  }
+  return Status::Ok();
+}
+
+}  // namespace slacker::net

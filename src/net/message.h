@@ -1,0 +1,80 @@
+#ifndef SLACKER_NET_MESSAGE_H_
+#define SLACKER_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/wal/log_record.h"
+
+namespace slacker::net {
+
+/// Message types exchanged between Slacker migration controllers. The
+/// paper uses "a simple format based on Google's protocol buffers"
+/// (§2.2); this hand-rolled tagged encoding plays that role.
+enum class MessageType : uint8_t {
+  kMigrateRequest = 1,   // Controller → controller: start migrating.
+  kMigrateAccept = 2,    // Target agrees and allocated the tenant slot.
+  kSnapshotBegin = 3,    // Snapshot stream starts (carries start LSN).
+  kSnapshotChunk = 4,    // One chunk of the fuzzy snapshot.
+  kSnapshotEnd = 5,      // Snapshot complete (carries end LSN).
+  kSnapshotAck = 6,      // Target finished ingesting the snapshot.
+  kDeltaBatch = 7,       // A round of binlog records.
+  kDeltaAck = 8,         // Target applied the round (carries LSN).
+  kHandoverRequest = 9,  // Source frozen; final delta + digest attached.
+  kHandoverAck = 10,     // Target applied the final delta (its digest).
+  kHandoverCommit = 11,  // Digests matched; target becomes authoritative.
+  kMigrateAbort = 12,
+};
+
+/// Tenant parameters shipped in kMigrateRequest so the target can
+/// instantiate an identical instance (the my.cnf that travels with the
+/// data directory).
+struct TenantWireConfig {
+  uint64_t page_bytes = 0;
+  uint64_t record_bytes = 0;
+  uint64_t record_count = 0;
+  uint64_t buffer_pool_bytes = 0;
+  uint64_t value_seed = 0;
+  double cpu_per_op = 0.0;
+  double commit_latency = 0.0;
+
+  bool operator==(const TenantWireConfig& other) const = default;
+};
+
+struct Message {
+  MessageType type = MessageType::kMigrateRequest;
+  uint64_t tenant_id = 0;
+  /// kMigrateRequest: destination server id.
+  uint64_t target_server = 0;
+  /// LSN bookmark (kSnapshotBegin/End, kDeltaAck, kHandoverRequest).
+  uint64_t lsn = 0;
+  /// kSnapshotChunk: chunk ordinal.
+  uint64_t chunk_seq = 0;
+  /// kSnapshotChunk / kDeltaBatch: logical payload size this message
+  /// represents on the wire (the compact digest encoding stands in for
+  /// the real row bytes).
+  uint64_t payload_bytes = 0;
+  /// kHandoverRequest/kHandoverAck: state digest for convergence check.
+  uint64_t digest = 0;
+  /// kMigrateAbort: error text.
+  std::string error;
+  /// kMigrateRequest only.
+  TenantWireConfig config;
+  /// kSnapshotChunk: row images.
+  std::vector<storage::Record> rows;
+  /// kDeltaBatch / kHandoverRequest: log records.
+  std::vector<wal::LogRecord> log_records;
+
+  bool operator==(const Message& other) const = default;
+};
+
+/// Serializes a message into a checksummed frame.
+std::vector<uint8_t> EncodeMessage(const Message& message);
+/// Parses a frame produced by EncodeMessage.
+Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out);
+
+}  // namespace slacker::net
+
+#endif  // SLACKER_NET_MESSAGE_H_

@@ -1,0 +1,34 @@
+#include "src/net/wire.h"
+
+#include "src/common/bytes.h"
+#include "src/common/checksum.h"
+
+namespace slacker::net {
+
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
+  ByteWriter writer;
+  writer.PutFixed32(kFrameMagic);
+  writer.PutFixed32(static_cast<uint32_t>(payload.size()));
+  writer.PutFixed32(Crc32c(payload));
+  writer.PutBytes(payload.data(), payload.size());
+  return writer.Release();
+}
+
+Status DecodeFrame(const std::vector<uint8_t>& data,
+                   std::vector<uint8_t>* out) {
+  ByteReader reader(data);
+  uint32_t magic, length, crc;
+  SLACKER_RETURN_IF_ERROR(reader.GetFixed32(&magic));
+  if (magic != kFrameMagic) return Status::Corruption("bad frame magic");
+  SLACKER_RETURN_IF_ERROR(reader.GetFixed32(&length));
+  SLACKER_RETURN_IF_ERROR(reader.GetFixed32(&crc));
+  if (reader.remaining() != length) {
+    return Status::Corruption("frame length mismatch");
+  }
+  out->resize(length);
+  SLACKER_RETURN_IF_ERROR(reader.GetBytes(out->data(), length));
+  if (Crc32c(*out) != crc) return Status::Corruption("frame checksum");
+  return Status::Ok();
+}
+
+}  // namespace slacker::net

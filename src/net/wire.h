@@ -1,0 +1,27 @@
+#ifndef SLACKER_NET_WIRE_H_
+#define SLACKER_NET_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace slacker::net {
+
+/// Frame layout: [magic u32][payload length u32][crc32c u32][payload].
+/// The CRC covers the payload; DecodeFrame rejects bad magic, short
+/// input, and checksum mismatches.
+constexpr uint32_t kFrameMagic = 0x534c4b52;  // "SLKR"
+constexpr size_t kFrameHeaderBytes = 12;
+
+/// Wraps a payload in a checksummed frame.
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
+
+/// Unwraps one frame from `data` (which must contain exactly one
+/// frame); on success stores the payload in `out`.
+Status DecodeFrame(const std::vector<uint8_t>& data,
+                   std::vector<uint8_t>* out);
+
+}  // namespace slacker::net
+
+#endif  // SLACKER_NET_WIRE_H_

@@ -1,0 +1,49 @@
+#include "src/resource/cpu.h"
+
+#include <utility>
+
+namespace slacker::resource {
+
+CpuModel::CpuModel(sim::Simulator* sim, CpuOptions options)
+    : sim_(sim), options_(options) {}
+
+void CpuModel::Submit(SimTime service, std::function<void()> done) {
+  if (busy_cores_ < options_.cores) {
+    StartJob(Job{service, std::move(done)});
+  } else {
+    queue_.push_back(Job{service, std::move(done)});
+  }
+}
+
+void CpuModel::StartJob(Job job) {
+  ++busy_cores_;
+  core_busy_time_ += job.service;
+  sim_->After(job.service, [this, done = std::move(job.done)]() mutable {
+    OnJobDone(std::move(done));
+  });
+}
+
+void CpuModel::OnJobDone(std::function<void()> done) {
+  --busy_cores_;
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(next));
+  }
+  if (done) done();
+}
+
+double CpuModel::Utilization() const {
+  const SimTime elapsed = sim_->Now() - stats_epoch_;
+  if (elapsed <= 0.0) return 0.0;
+  const double capacity = elapsed * options_.cores;
+  double util = core_busy_time_ / capacity;
+  return util > 1.0 ? 1.0 : util;
+}
+
+void CpuModel::ResetStats() {
+  core_busy_time_ = 0.0;
+  stats_epoch_ = sim_->Now();
+}
+
+}  // namespace slacker::resource

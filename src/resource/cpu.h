@@ -1,0 +1,57 @@
+#ifndef SLACKER_RESOURCE_CPU_H_
+#define SLACKER_RESOURCE_CPU_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace slacker::resource {
+
+struct CpuOptions {
+  /// Number of cores (the paper's testbed is a quad-core Xeon).
+  int cores = 4;
+};
+
+/// Multi-server FIFO CPU: up to `cores` jobs execute concurrently,
+/// later arrivals queue. Used for per-operation query processing cost
+/// and for backup prepare/apply work.
+class CpuModel {
+ public:
+  CpuModel(sim::Simulator* sim, CpuOptions options);
+
+  CpuModel(const CpuModel&) = delete;
+  CpuModel& operator=(const CpuModel&) = delete;
+
+  /// Runs a job needing `service` seconds of one core; `done` fires on
+  /// completion.
+  void Submit(SimTime service, std::function<void()> done);
+
+  int busy_cores() const { return busy_cores_; }
+  size_t queued() const { return queue_.size(); }
+  double Utilization() const;
+  void ResetStats();
+
+ private:
+  struct Job {
+    SimTime service;
+    std::function<void()> done;
+  };
+
+  void StartJob(Job job);
+  void OnJobDone(std::function<void()> done);
+
+  sim::Simulator* sim_;
+  CpuOptions options_;
+  int busy_cores_ = 0;
+  std::deque<Job> queue_;
+  SimTime core_busy_time_ = 0.0;
+  SimTime stats_epoch_ = 0.0;
+};
+
+}  // namespace slacker::resource
+
+#endif  // SLACKER_RESOURCE_CPU_H_

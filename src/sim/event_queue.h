@@ -1,0 +1,63 @@
+#ifndef SLACKER_SIM_EVENT_QUEUE_H_
+#define SLACKER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace slacker::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+
+/// Time-ordered queue of callbacks. Ties are broken by insertion order
+/// so that runs are deterministic regardless of heap internals.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. Returns an id usable with
+  /// Cancel().
+  EventId Schedule(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id
+  /// is a no-op and returns false.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event. Requires !empty().
+  SimTime NextTime() const;
+
+  /// Pops and runs the earliest pending event; returns its time.
+  /// Requires !empty().
+  SimTime RunNext();
+
+ private:
+  struct Event {
+    SimTime when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among simultaneous events.
+    }
+  };
+
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace slacker::sim
+
+#endif  // SLACKER_SIM_EVENT_QUEUE_H_

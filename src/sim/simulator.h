@@ -1,0 +1,80 @@
+#ifndef SLACKER_SIM_SIMULATOR_H_
+#define SLACKER_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <limits>
+
+#include "src/sim/event_queue.h"
+
+namespace slacker::sim {
+
+/// Discrete-event simulation driver: a virtual clock plus an event
+/// queue. Single-threaded by design — all model code runs inline in
+/// event callbacks, so no synchronization is needed anywhere in the
+/// stack and runs are bit-reproducible.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0;
+  /// negative delays are clamped to 0, i.e., "run next").
+  EventId After(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (clamped to Now()).
+  EventId At(SimTime when, std::function<void()> fn);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Runs events until the queue is empty or the clock passes `until`.
+  /// Events scheduled exactly at `until` do run. Returns the number of
+  /// events executed.
+  size_t RunUntil(SimTime until);
+
+  /// Runs until the queue is empty (use only when the model is known to
+  /// quiesce). Returns the number of events executed.
+  size_t RunAll(size_t max_events = std::numeric_limits<size_t>::max());
+
+  /// Pending event count (excluding cancelled).
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+};
+
+/// Fires a callback every `period` seconds until stopped or the owner
+/// is destroyed. The controller tick (1 s) and time-series samplers are
+/// built on this.
+class PeriodicTimer {
+ public:
+  /// `fn` receives the firing time. The first firing is at
+  /// start + period (not immediately), matching a sampling loop.
+  PeriodicTimer(Simulator* sim, SimTime period,
+                std::function<void(SimTime)> fn);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+ private:
+  void Arm();
+
+  Simulator* sim_;
+  SimTime period_;
+  std::function<void(SimTime)> fn_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace slacker::sim
+
+#endif  // SLACKER_SIM_SIMULATOR_H_

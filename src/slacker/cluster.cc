@@ -1,0 +1,171 @@
+#include "src/slacker/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace slacker {
+
+Server::Server(sim::Simulator* sim, uint64_t id, const ClusterOptions& options,
+               MigrationContext* ctx)
+    : id_(id),
+      disk_(sim, options.disk, "disk-" + std::to_string(id)),
+      cpu_(sim, options.cpu),
+      shared_pool_(options.multitenancy == MultitenancyModel::kSharedProcess
+                       ? std::make_unique<storage::BufferPool>(
+                             storage::BufferPoolOptions{
+                                 options.shared_buffer_bytes / (16 * kKiB)})
+                       : nullptr),
+      tenants_(sim, &disk_, &cpu_, shared_pool_.get()),
+      monitor_(options.monitor_window),
+      controller_(std::make_unique<MigrationController>(ctx, id)) {
+  controller_->set_incoming_options(options.incoming_migration);
+}
+
+Cluster::Cluster(sim::Simulator* sim, const ClusterOptions& options)
+    : sim_(sim), options_(options) {
+  servers_.reserve(options.num_servers);
+  for (int i = 0; i < options.num_servers; ++i) {
+    servers_.push_back(
+        std::make_unique<Server>(sim, static_cast<uint64_t>(i), options, this));
+  }
+  // Wire each server's monitor to probe outstanding client work for the
+  // tenants it currently hosts, so a stalled server still reports
+  // rising latency to the controller.
+  for (auto& server : servers_) {
+    Server* raw = server.get();
+    raw->monitor()->SetOutstandingProbe([this, raw](SimTime now) {
+      double worst = 0.0;
+      for (uint64_t tenant : directory_.TenantsOn(raw->id())) {
+        auto it = pools_by_tenant_.find(tenant);
+        if (it == pools_by_tenant_.end()) continue;
+        for (workload::ClientPool* pool : it->second) {
+          worst = std::max(worst, pool->OldestOutstandingAgeMs(now));
+        }
+      }
+      return worst;
+    });
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Server* Cluster::server(uint64_t id) {
+  return id < servers_.size() ? servers_[id].get() : nullptr;
+}
+
+Result<engine::TenantDb*> Cluster::AddTenant(
+    uint64_t server_id, const engine::TenantConfig& config, bool load) {
+  Server* host = server(server_id);
+  if (host == nullptr) return Status::NotFound("no such server");
+  Result<engine::TenantDb*> db =
+      host->tenants()->CreateTenant(config, load, /*frozen=*/false);
+  if (!db.ok()) return db;
+  SLACKER_RETURN_IF_ERROR(directory_.Register(config.tenant_id, server_id));
+  return db;
+}
+
+Status Cluster::RemoveTenant(uint64_t tenant_id) {
+  Result<uint64_t> host = directory_.Lookup(tenant_id);
+  SLACKER_RETURN_IF_ERROR(host.status());
+  SLACKER_RETURN_IF_ERROR(directory_.Remove(tenant_id));
+  return server(*host)->tenants()->DeleteTenant(tenant_id);
+}
+
+Status Cluster::StartMigration(uint64_t tenant_id, uint64_t target_server,
+                               const MigrationOptions& options,
+                               MigrationJob::DoneCallback done) {
+  Result<uint64_t> host = directory_.Lookup(tenant_id);
+  SLACKER_RETURN_IF_ERROR(host.status());
+  if (server(target_server) == nullptr) {
+    return Status::NotFound("no such target server");
+  }
+  return server(*host)->controller()->StartMigration(tenant_id, target_server,
+                                                     options, std::move(done));
+}
+
+MigrationJob* Cluster::ActiveJob(uint64_t tenant_id) {
+  const Result<uint64_t> host = directory_.Lookup(tenant_id);
+  if (!host.ok()) return nullptr;
+  return server(*host)->controller()->ActiveJob(tenant_id);
+}
+
+Status Cluster::CancelMigration(uint64_t tenant_id,
+                                const std::string& reason) {
+  const Result<uint64_t> host = directory_.Lookup(tenant_id);
+  SLACKER_RETURN_IF_ERROR(host.status());
+  return server(*host)->controller()->CancelMigration(tenant_id, reason);
+}
+
+engine::TenantDb* Cluster::Resolve(uint64_t tenant_id) {
+  const Result<uint64_t> host = directory_.Lookup(tenant_id);
+  if (!host.ok()) return nullptr;
+  return server(*host)->tenants()->Get(tenant_id);
+}
+
+workload::ClientPool::LatencyObserver Cluster::MakeLatencyObserver() {
+  return [this](uint64_t tenant_id, SimTime now, double latency_ms) {
+    const Result<uint64_t> host = directory_.Lookup(tenant_id);
+    if (!host.ok()) return;
+    server(*host)->monitor()->Record(now, latency_ms);
+  };
+}
+
+void Cluster::AttachClientPool(uint64_t tenant_id,
+                               workload::ClientPool* pool) {
+  pools_by_tenant_[tenant_id].push_back(pool);
+}
+
+engine::TenantDb* Cluster::TenantOn(uint64_t server_id, uint64_t tenant_id) {
+  Server* host = server(server_id);
+  return host == nullptr ? nullptr : host->tenants()->Get(tenant_id);
+}
+
+Result<engine::TenantDb*> Cluster::CreateTenantOn(
+    uint64_t server_id, const engine::TenantConfig& config, bool load,
+    bool frozen) {
+  Server* host = server(server_id);
+  if (host == nullptr) return Status::NotFound("no such server");
+  return host->tenants()->CreateTenant(config, load, frozen);
+}
+
+Status Cluster::DeleteTenantOn(uint64_t server_id, uint64_t tenant_id) {
+  Server* host = server(server_id);
+  if (host == nullptr) return Status::NotFound("no such server");
+  return host->tenants()->DeleteTenant(tenant_id);
+}
+
+net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
+  const auto key = std::make_pair(from, to);
+  auto it = channels_.find(key);
+  if (it != channels_.end()) return it->second.get();
+
+  auto link = std::make_unique<resource::NetworkLink>(sim_, options_.link);
+  auto channel = std::make_unique<net::Channel>(sim_, link.get());
+  channel->OnMessage([this, from, to](const net::Message& message) {
+    Server* receiver = server(to);
+    if (receiver != nullptr) {
+      receiver->controller()->HandleMessage(from, message);
+    }
+  });
+  channel->OnError([](const Status& status) {
+    SLACKER_LOG_ERROR << "channel error: " << status.ToString();
+  });
+  net::Channel* raw = channel.get();
+  links_[key] = std::move(link);
+  channels_[key] = std::move(channel);
+  return raw;
+}
+
+void Cluster::SendMessage(uint64_t from_server, uint64_t to_server,
+                          const net::Message& message) {
+  ChannelBetween(from_server, to_server)->Send(message);
+}
+
+control::LatencyMonitor* Cluster::MonitorOn(uint64_t server_id) {
+  Server* host = server(server_id);
+  return host == nullptr ? nullptr : host->monitor();
+}
+
+}  // namespace slacker

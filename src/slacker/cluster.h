@@ -1,0 +1,149 @@
+#ifndef SLACKER_SLACKER_CLUSTER_H_
+#define SLACKER_SLACKER_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/control/latency_monitor.h"
+#include "src/net/channel.h"
+#include "src/resource/cpu.h"
+#include "src/resource/disk.h"
+#include "src/resource/network_link.h"
+#include "src/sim/simulator.h"
+#include "src/slacker/migration.h"
+#include "src/slacker/migration_controller.h"
+#include "src/slacker/tenant_directory.h"
+#include "src/slacker/tenant_manager.h"
+#include "src/workload/client_pool.h"
+
+namespace slacker {
+
+/// Which multitenancy level servers use (§2.1 / §6).
+enum class MultitenancyModel {
+  /// One dedicated engine + buffer pool per tenant (the paper's model:
+  /// "we avoid any situations in which buffer allocations overlap").
+  kProcessLevel,
+  /// One shared buffer pool per server: cheaper per tenant, but
+  /// neighbours contend for cache frames (the §6/§8 extension).
+  kSharedProcess,
+};
+
+struct ClusterOptions {
+  int num_servers = 3;
+  resource::DiskOptions disk;
+  resource::CpuOptions cpu;
+  resource::NetworkLinkOptions link;
+  /// Latency monitor sliding window (the paper's 3 s).
+  SimTime monitor_window = 3.0;
+  /// Target-side options for incoming migrations on every server.
+  MigrationOptions incoming_migration;
+
+  MultitenancyModel multitenancy = MultitenancyModel::kProcessLevel;
+  /// kSharedProcess: each server's single pool size (16 KiB pages).
+  uint64_t shared_buffer_bytes = 512 * kMiB;
+};
+
+/// One physical machine: shared disk and CPU, the tenants living on it,
+/// its latency monitor, and its migration controller.
+class Server {
+ public:
+  Server(sim::Simulator* sim, uint64_t id, const ClusterOptions& options,
+         MigrationContext* ctx);
+
+  uint64_t id() const { return id_; }
+  resource::DiskModel* disk() { return &disk_; }
+  resource::CpuModel* cpu() { return &cpu_; }
+  TenantManager* tenants() { return &tenants_; }
+  control::LatencyMonitor* monitor() { return &monitor_; }
+  MigrationController* controller() { return controller_.get(); }
+  /// Non-null only under MultitenancyModel::kSharedProcess.
+  storage::BufferPool* shared_pool() { return shared_pool_.get(); }
+
+ private:
+  uint64_t id_;
+  resource::DiskModel disk_;
+  resource::CpuModel cpu_;
+  std::unique_ptr<storage::BufferPool> shared_pool_;
+  TenantManager tenants_;
+  control::LatencyMonitor monitor_;
+  std::unique_ptr<MigrationController> controller_;
+};
+
+/// The whole testbed in one object (the Figure 4 / Figure 10 setup):
+/// N servers, a full mesh of gigabit links with a message channel per
+/// ordered pair, the frontend tenant directory, and the plumbing that
+/// routes client latencies to the hosting server's monitor. Implements
+/// MigrationContext for the jobs and TenantResolver for the benchmark
+/// clients.
+class Cluster : public MigrationContext, public workload::TenantResolver {
+ public:
+  Cluster(sim::Simulator* sim, const ClusterOptions& options);
+  ~Cluster() override;
+
+  // --- Topology ---------------------------------------------------
+  Server* server(uint64_t id);
+  size_t num_servers() const { return servers_.size(); }
+  TenantDirectory* directory() override { return &directory_; }
+  /// The directional channel carrying from→to traffic (created on first
+  /// use). Exposed so chaos tests can inject faults into it.
+  net::Channel* ChannelBetween(uint64_t from, uint64_t to);
+
+  // --- Tenant lifecycle -------------------------------------------
+  /// Creates a tenant on `server_id` and registers it in the directory.
+  Result<engine::TenantDb*> AddTenant(uint64_t server_id,
+                                      const engine::TenantConfig& config,
+                                      bool load = true);
+  /// Removes a tenant everywhere (directory + server).
+  Status RemoveTenant(uint64_t tenant_id);
+
+  // --- Migration --------------------------------------------------
+  /// Migrates `tenant_id` from wherever it lives to `target_server`.
+  Status StartMigration(uint64_t tenant_id, uint64_t target_server,
+                        const MigrationOptions& options,
+                        MigrationJob::DoneCallback done);
+  /// The in-flight job for `tenant_id`, or nullptr.
+  MigrationJob* ActiveJob(uint64_t tenant_id);
+  /// Cancels an in-flight migration; the source stays authoritative.
+  Status CancelMigration(uint64_t tenant_id,
+                         const std::string& reason = "operator request");
+
+  // --- Client plumbing --------------------------------------------
+  /// TenantResolver: current authoritative instance for the tenant.
+  engine::TenantDb* Resolve(uint64_t tenant_id) override;
+  /// Observer for ClientPool that feeds the hosting server's monitor.
+  workload::ClientPool::LatencyObserver MakeLatencyObserver();
+  /// Registers a pool so server monitors can probe outstanding work
+  /// during stalls.
+  void AttachClientPool(uint64_t tenant_id, workload::ClientPool* pool);
+
+  // --- MigrationContext -------------------------------------------
+  sim::Simulator* simulator() override { return sim_; }
+  engine::TenantDb* TenantOn(uint64_t server_id, uint64_t tenant_id) override;
+  Result<engine::TenantDb*> CreateTenantOn(uint64_t server_id,
+                                           const engine::TenantConfig& config,
+                                           bool load, bool frozen) override;
+  Status DeleteTenantOn(uint64_t server_id, uint64_t tenant_id) override;
+  void SendMessage(uint64_t from_server, uint64_t to_server,
+                   const net::Message& message) override;
+  control::LatencyMonitor* MonitorOn(uint64_t server_id) override;
+
+ private:
+  sim::Simulator* sim_;
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  TenantDirectory directory_;
+  // One link + channel per ordered server pair, created lazily.
+  std::map<std::pair<uint64_t, uint64_t>,
+           std::unique_ptr<resource::NetworkLink>>
+      links_;
+  std::map<std::pair<uint64_t, uint64_t>, std::unique_ptr<net::Channel>>
+      channels_;
+  std::map<uint64_t, std::vector<workload::ClientPool*>> pools_by_tenant_;
+};
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_CLUSTER_H_

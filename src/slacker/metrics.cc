@@ -1,0 +1,97 @@
+#include "src/slacker/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace slacker {
+
+ClusterMetrics CollectMetrics(Cluster* cluster) {
+  ClusterMetrics metrics;
+  metrics.time = cluster->simulator()->Now();
+  for (size_t sid = 0; sid < cluster->num_servers(); ++sid) {
+    Server* server = cluster->server(sid);
+    ServerMetrics sm;
+    sm.server_id = sid;
+    sm.disk_utilization = server->disk()->Utilization();
+    sm.cpu_utilization = server->cpu()->Utilization();
+    sm.disk_queue_depth = server->disk()->QueueDepth();
+    sm.window_latency_ms =
+        server->monitor()->WindowAverageMs(metrics.time);
+    for (uint64_t tenant_id : server->tenants()->TenantIds()) {
+      engine::TenantDb* db = server->tenants()->Get(tenant_id);
+      TenantMetrics tm;
+      tm.tenant_id = tenant_id;
+      tm.rows = db->table().size();
+      tm.data_bytes = db->DataBytes();
+      tm.binlog_bytes = db->binlog()->total_bytes();
+      tm.buffer_hit_rate = db->buffer_pool()->HitRate();
+      tm.ops_executed = db->ops_executed();
+      tm.frozen = db->frozen();
+      tm.migrating =
+          server->controller()->ActiveJob(tenant_id) != nullptr;
+      if (tm.migrating) ++metrics.active_migrations;
+      sm.tenants.push_back(tm);
+    }
+    metrics.servers.push_back(std::move(sm));
+  }
+  return metrics;
+}
+
+std::string ClusterMetrics::ToString() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "t=%.1fs  migrations in flight: %zu\n", time,
+                active_migrations);
+  out << line;
+  for (const ServerMetrics& s : servers) {
+    std::snprintf(line, sizeof(line),
+                  "  server %llu: disk %3.0f%%  cpu %3.0f%%  queue %zu  "
+                  "latency %.0f ms\n",
+                  static_cast<unsigned long long>(s.server_id),
+                  s.disk_utilization * 100.0, s.cpu_utilization * 100.0,
+                  s.disk_queue_depth, s.window_latency_ms);
+    out << line;
+    for (const TenantMetrics& t : s.tenants) {
+      std::snprintf(
+          line, sizeof(line),
+          "    tenant %llu: %llu rows (%.0f MiB)  hit %.2f  ops %llu%s%s\n",
+          static_cast<unsigned long long>(t.tenant_id),
+          static_cast<unsigned long long>(t.rows),
+          static_cast<double>(t.data_bytes) / kMiB, t.buffer_hit_rate,
+          static_cast<unsigned long long>(t.ops_executed),
+          t.frozen ? "  [frozen]" : "", t.migrating ? "  [migrating]" : "");
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+MetricsCollector::MetricsCollector(sim::Simulator* sim, Cluster* cluster,
+                                   SimTime period, Sink sink, size_t history)
+    : cluster_(cluster),
+      sink_(std::move(sink)),
+      max_history_(history),
+      timer_(sim, period, [this](SimTime now) { Sample(now); }) {}
+
+void MetricsCollector::Start() { timer_.Start(); }
+void MetricsCollector::Stop() { timer_.Stop(); }
+
+void MetricsCollector::Sample(SimTime /*now*/) {
+  ClusterMetrics metrics = CollectMetrics(cluster_);
+  if (sink_) sink_(metrics);
+  history_.push_back(std::move(metrics));
+  if (history_.size() > max_history_) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<long>(history_.size() - max_history_));
+  }
+}
+
+ClusterMetrics MetricsCollector::Latest() {
+  if (history_.empty()) return CollectMetrics(cluster_);
+  return history_.back();
+}
+
+}  // namespace slacker

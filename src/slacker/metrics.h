@@ -1,0 +1,79 @@
+#ifndef SLACKER_SLACKER_METRICS_H_
+#define SLACKER_SLACKER_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/slacker/cluster.h"
+
+namespace slacker {
+
+/// One tenant's state at sample time.
+struct TenantMetrics {
+  uint64_t tenant_id = 0;
+  uint64_t rows = 0;
+  uint64_t data_bytes = 0;
+  uint64_t binlog_bytes = 0;
+  double buffer_hit_rate = 0.0;
+  uint64_t ops_executed = 0;
+  bool frozen = false;
+  bool migrating = false;
+};
+
+/// One server's state at sample time.
+struct ServerMetrics {
+  uint64_t server_id = 0;
+  double disk_utilization = 0.0;
+  double cpu_utilization = 0.0;
+  size_t disk_queue_depth = 0;
+  /// Sliding-window average latency the controller would see (ms).
+  double window_latency_ms = 0.0;
+  std::vector<TenantMetrics> tenants;
+};
+
+/// Point-in-time snapshot of the whole cluster.
+struct ClusterMetrics {
+  SimTime time = 0.0;
+  std::vector<ServerMetrics> servers;
+  size_t active_migrations = 0;
+
+  /// Multi-line human-readable dump (the `slacker-top` view).
+  std::string ToString() const;
+};
+
+/// Samples a snapshot now.
+ClusterMetrics CollectMetrics(Cluster* cluster);
+
+/// Periodic sampler: collects a snapshot every `period` seconds and
+/// hands it to `sink`; keeps the last `history` snapshots queryable.
+class MetricsCollector {
+ public:
+  using Sink = std::function<void(const ClusterMetrics&)>;
+
+  MetricsCollector(sim::Simulator* sim, Cluster* cluster, SimTime period,
+                   Sink sink = nullptr, size_t history = 128);
+
+  void Start();
+  void Stop();
+
+  const std::vector<ClusterMetrics>& history() const { return history_; }
+  /// Latest snapshot; collects one on demand if none sampled yet.
+  ClusterMetrics Latest();
+
+ private:
+  void Sample(SimTime now);
+
+  Cluster* cluster_;
+  Sink sink_;
+  size_t max_history_;
+  std::vector<ClusterMetrics> history_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_METRICS_H_

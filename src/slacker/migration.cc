@@ -1,0 +1,698 @@
+#include "src/slacker/migration.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/wal/recovery.h"
+
+namespace slacker {
+namespace {
+
+/// Disk stream id for migration bulk I/O — distinct from every tenant
+/// id so sequential chunks keep their head position between each other
+/// but pay a seek after any interleaved tenant I/O.
+constexpr uint64_t kMigrationStreamId = UINT64_MAX - 1;
+
+net::TenantWireConfig WireConfigFrom(const engine::TenantConfig& config) {
+  net::TenantWireConfig wire;
+  wire.page_bytes = config.layout.page_bytes;
+  wire.record_bytes = config.layout.record_bytes;
+  wire.record_count = config.layout.record_count;
+  wire.buffer_pool_bytes = config.buffer_pool_bytes;
+  wire.value_seed = config.value_seed;
+  wire.cpu_per_op = config.cpu_per_op;
+  wire.commit_latency = config.commit_latency;
+  return wire;
+}
+
+engine::TenantConfig ConfigFromWire(uint64_t tenant_id,
+                                    const net::TenantWireConfig& wire) {
+  engine::TenantConfig config;
+  config.tenant_id = tenant_id;
+  config.layout.page_bytes = wire.page_bytes;
+  config.layout.record_bytes = wire.record_bytes;
+  config.layout.record_count = wire.record_count;
+  config.buffer_pool_bytes = wire.buffer_pool_bytes;
+  config.value_seed = wire.value_seed;
+  config.cpu_per_op = wire.cpu_per_op;
+  config.commit_latency = wire.commit_latency;
+  return config;
+}
+
+/// Applies snapshot rows with LSN-newest-wins semantics (fuzzy chunks
+/// may be older than an already-applied version — never regress).
+void ApplyRows(const std::vector<storage::Record>& rows,
+               storage::BTree* table) {
+  for (const storage::Record& row : rows) {
+    const storage::Record* existing = table->Get(row.key);
+    if (existing != nullptr && existing->lsn >= row.lsn) continue;
+    table->Put(row);
+  }
+}
+
+}  // namespace
+
+double MigrationReport::AverageRateMbps() const {
+  const SimTime duration = DurationSeconds();
+  if (duration <= 0.0) return 0.0;
+  return MBpsFromBytesPerSec(
+      static_cast<double>(snapshot_bytes + delta_bytes) / duration);
+}
+
+MigrationJob::MigrationJob(MigrationContext* ctx, uint64_t tenant_id,
+                           uint64_t source_server, uint64_t target_server,
+                           const MigrationOptions& options, DoneCallback done)
+    : ctx_(ctx),
+      sim_(ctx->simulator()),
+      tenant_id_(tenant_id),
+      source_server_(source_server),
+      target_server_(target_server),
+      options_(options),
+      done_(std::move(done)) {
+  report_.tenant_id = tenant_id;
+  report_.source_server = source_server;
+  report_.target_server = target_server;
+  report_.mode = options.mode;
+}
+
+MigrationJob::~MigrationJob() {
+  // Signal in-flight async callbacks (disk completions, bucket grants,
+  // freeze waiters) that the job is gone.
+  *alive_ = false;
+}
+
+Status MigrationJob::Start() {
+  SLACKER_RETURN_IF_ERROR(options_.Validate());
+  if (source_server_ == target_server_) {
+    return Status::InvalidArgument("source and target are the same server");
+  }
+  source_db_ = ctx_->TenantOn(source_server_, tenant_id_);
+  if (source_db_ == nullptr) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id_) +
+                            " not on source server");
+  }
+
+  policy_ = MakeThrottlePolicy(options_, ctx_->MonitorOn(source_server_),
+                               ctx_->MonitorOn(target_server_));
+  report_.throttle_name = policy_->name();
+  resource::TokenBucketOptions bucket_options;
+  bucket_options.rate_bytes_per_sec =
+      BytesPerSecFromMBps(policy_->InitialRateMbps());
+  // Burst = one chunk: a long-idle pipe resumes with a single chunk
+  // instead of dumping several back-to-back onto the disk (which would
+  // monopolize the spindle for ~100 ms and spike query latency).
+  bucket_options.burst_bytes = options_.backup.chunk_bytes;
+  throttle_ = std::make_unique<resource::TokenBucket>(sim_, bucket_options);
+
+  report_.start_time = sim_->Now();
+  phase_start_ = sim_->Now();
+
+  net::Message request;
+  request.type = net::MessageType::kMigrateRequest;
+  request.tenant_id = tenant_id_;
+  request.target_server = target_server_;
+  request.config = WireConfigFrom(source_db_->config());
+  ctx_->SendMessage(source_server_, target_server_, request);
+  if (options_.timeout_seconds > 0.0) {
+    ArmWatchdog(options_.timeout_seconds);
+  }
+  SLACKER_LOG_INFO << "migration of tenant " << tenant_id_ << " to server "
+                   << target_server_ << " requested (" << policy_->name()
+                   << ")";
+  return Status::Ok();
+}
+
+void MigrationJob::ArmWatchdog(SimTime delay) {
+  sim_->After(delay, [this, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    if (finished_) return;
+    if (phase_ == MigrationPhase::kHandover &&
+        ++handover_grace_checks_ < 15) {
+      // Mid-handover: give the sub-second exchange a short grace and
+      // check again. If it stays stuck (a lost ack), escalate below.
+      ArmWatchdog(1.0);
+      return;
+    }
+    SLACKER_LOG_WARN << "migration of tenant " << tenant_id_
+                     << " timed out; aborting";
+    if (phase_ == MigrationPhase::kHandover) {
+      ForceAbort("watchdog timeout during handover");
+    } else {
+      (void)Cancel("watchdog timeout");
+    }
+  });
+}
+
+void MigrationJob::ForceAbort(const std::string& reason) {
+  if (finished_) return;
+  // No commit decision exists while the job is unfinished (OnHandoverAck
+  // decides and finishes atomically in the event loop), so reverting to
+  // the source is safe: the directory was never switched.
+  net::Message abort;
+  abort.type = net::MessageType::kMigrateAbort;
+  abort.tenant_id = tenant_id_;
+  abort.error = reason;
+  ctx_->SendMessage(source_server_, target_server_, abort);
+  if (source_db_ != nullptr && source_db_->frozen()) {
+    source_db_->Unfreeze();
+  }
+  Finish(Status::Aborted(reason));
+}
+
+Status MigrationJob::Cancel(const std::string& reason) {
+  if (finished_) {
+    return Status::FailedPrecondition("migration already finished");
+  }
+  if (phase_ == MigrationPhase::kHandover) {
+    return Status::FailedPrecondition(
+        "handover in progress; too late to cancel");
+  }
+  net::Message abort;
+  abort.type = net::MessageType::kMigrateAbort;
+  abort.tenant_id = tenant_id_;
+  abort.error = reason;
+  ctx_->SendMessage(source_server_, target_server_, abort);
+  // Stop-and-copy froze the tenant up front; give it back.
+  if (source_db_ != nullptr && source_db_->frozen()) {
+    source_db_->Unfreeze();
+  }
+  Finish(Status::Aborted("cancelled: " + reason));
+  return Status::Ok();
+}
+
+void MigrationJob::EnterPhase(MigrationPhase phase) {
+  const SimTime now = sim_->Now();
+  const SimTime elapsed = now - phase_start_;
+  switch (phase_) {
+    case MigrationPhase::kNegotiate:
+      report_.negotiate_seconds += elapsed;
+      break;
+    case MigrationPhase::kSnapshot:
+      report_.snapshot_seconds += elapsed;
+      break;
+    case MigrationPhase::kPrepare:
+      report_.prepare_seconds += elapsed;
+      break;
+    case MigrationPhase::kDelta:
+      report_.delta_seconds += elapsed;
+      break;
+    case MigrationPhase::kHandover:
+      report_.handover_seconds += elapsed;
+      break;
+    case MigrationPhase::kDone:
+    case MigrationPhase::kFailed:
+      break;
+  }
+  phase_ = phase;
+  phase_start_ = now;
+}
+
+void MigrationJob::StartController() {
+  tick_ = std::make_unique<sim::PeriodicTimer>(
+      sim_, options_.controller_tick, [this](SimTime now) { OnTick(now); });
+  tick_->Start();
+  report_.throttle_series.Add(sim_->Now(),
+                              MBpsFromBytesPerSec(throttle_->rate()));
+}
+
+void MigrationJob::OnTick(SimTime now) {
+  if (finished_) return;
+  const double rate_mbps = policy_->OnTick(now, options_.controller_tick);
+  throttle_->SetRate(BytesPerSecFromMBps(rate_mbps));
+  report_.throttle_series.Add(now, rate_mbps);
+  if (auto* pid = dynamic_cast<PidThrottlePolicy*>(policy_.get())) {
+    report_.controller_latency_series.Add(now, pid->last_latency_ms());
+  } else if (auto* adaptive =
+                 dynamic_cast<AdaptivePidThrottlePolicy*>(policy_.get())) {
+    report_.controller_latency_series.Add(now, adaptive->last_latency_ms());
+  }
+}
+
+void MigrationJob::HandleMessage(const net::Message& message) {
+  if (finished_) return;
+  switch (message.type) {
+    case net::MessageType::kMigrateAccept: {
+      if (phase_ != MigrationPhase::kNegotiate) return;
+      if (options_.mode == MigrationMode::kStopAndCopy) {
+        // Stop-and-copy freezes the tenant for the entire copy (§2.3.1).
+        freeze_time_ = sim_->Now();
+        source_db_->Freeze([this, alive = std::weak_ptr<bool>(alive_)] {
+          if (alive.expired()) return;
+          BeginSnapshot();
+        });
+      } else {
+        BeginSnapshot();
+      }
+      return;
+    }
+    case net::MessageType::kSnapshotAck: {
+      if (phase_ != MigrationPhase::kSnapshot) return;
+      if (options_.mode == MigrationMode::kStopAndCopy) {
+        if (!options_.file_level_copy) {
+          // mysqldump-style copy pays a re-import on the target before
+          // it can serve (§2.3.1 — "very slow ... due to the overhead
+          // of reimporting the data").
+          const SimTime import =
+              options_.import_seconds_per_mib *
+              (static_cast<double>(report_.snapshot_bytes) / kMiB);
+          engine::TenantDb* staging =
+              ctx_->TenantOn(target_server_, tenant_id_);
+          if (staging != nullptr) staging->ChargeCpu(import, nullptr);
+          EnterPhase(MigrationPhase::kPrepare);
+          sim_->After(import, [this, alive = std::weak_ptr<bool>(alive_)] {
+            if (!alive.expired()) BeginHandover();
+          });
+        } else {
+          BeginHandover();
+        }
+      } else {
+        BeginPrepare();
+      }
+      return;
+    }
+    case net::MessageType::kDeltaAck: {
+      if (phase_ != MigrationPhase::kDelta) return;
+      shipper_->MarkApplied(message.lsn);
+      ShipNextDelta();
+      return;
+    }
+    case net::MessageType::kHandoverAck:
+      OnHandoverAck(message);
+      return;
+    case net::MessageType::kMigrateAbort:
+      Finish(Status::Aborted("target aborted: " + message.error));
+      return;
+    default:
+      SLACKER_LOG_WARN << "source job ignoring message type "
+                       << static_cast<int>(message.type);
+  }
+}
+
+void MigrationJob::BeginSnapshot() {
+  EnterPhase(MigrationPhase::kSnapshot);
+  snapshot_ =
+      std::make_unique<backup::HotBackupStream>(source_db_, options_.backup);
+  shipper_ = std::make_unique<backup::DeltaShipper>(source_db_->binlog(),
+                                                    snapshot_->start_lsn());
+  // Keep the delta range readable even if a retention policy purges the
+  // source binlog mid-migration.
+  binlog_pin_ = source_db_->PinBinlog(snapshot_->start_lsn() + 1);
+  StartController();
+
+  net::Message begin;
+  begin.type = net::MessageType::kSnapshotBegin;
+  begin.tenant_id = tenant_id_;
+  begin.lsn = snapshot_->start_lsn();
+  ctx_->SendMessage(source_server_, target_server_, begin);
+
+  PumpSnapshot();
+}
+
+void MigrationJob::PumpSnapshot() {
+  if (finished_ || phase_ != MigrationPhase::kSnapshot) return;
+  if (snapshot_->Done()) {
+    OnSnapshotDrained();
+    return;
+  }
+  if (acquiring_ || inflight_chunks_ >= options_.max_inflight_chunks) return;
+  acquiring_ = true;
+  throttle_->Acquire(options_.backup.chunk_bytes,
+                     [this, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    acquiring_ = false;
+    if (finished_ || phase_ != MigrationPhase::kSnapshot) return;
+    if (snapshot_->Done()) {
+      OnSnapshotDrained();
+      return;
+    }
+    backup::HotBackupStream::Chunk chunk = snapshot_->NextChunk();
+    ++inflight_chunks_;
+    report_.snapshot_bytes += chunk.logical_bytes;
+    const uint64_t read_bytes = std::max<uint64_t>(chunk.logical_bytes, 1);
+    source_db_->ChargeSequentialRead(
+        read_bytes, kMigrationStreamId,
+        [this, alive = std::weak_ptr<bool>(alive_),
+         chunk = std::move(chunk)]() mutable {
+          if (alive.expired()) return;
+          net::Message msg;
+          msg.type = net::MessageType::kSnapshotChunk;
+          msg.tenant_id = tenant_id_;
+          msg.chunk_seq = chunk.seq;
+          msg.payload_bytes = chunk.logical_bytes;
+          msg.rows = std::move(chunk.rows);
+          ctx_->SendMessage(source_server_, target_server_, msg);
+          --inflight_chunks_;
+          PumpSnapshot();
+        });
+    // Keep acquiring tokens for the next chunk while this one is being
+    // read — the throttle, not the read completion, paces the stream.
+    PumpSnapshot();
+  });
+}
+
+void MigrationJob::OnSnapshotDrained() {
+  if (inflight_chunks_ > 0 || snapshot_sent_end_) return;
+  snapshot_sent_end_ = true;
+  net::Message end;
+  end.type = net::MessageType::kSnapshotEnd;
+  end.tenant_id = tenant_id_;
+  end.lsn = source_db_->last_lsn();
+  ctx_->SendMessage(source_server_, target_server_, end);
+}
+
+void MigrationJob::BeginPrepare() {
+  EnterPhase(MigrationPhase::kPrepare);
+  // XtraBackup --prepare: crash recovery against the copied tablespace
+  // on the target. The log window itself converges through delta
+  // rounds; prepare contributes its fixed readiness cost, busying a
+  // target core meanwhile.
+  engine::TenantDb* staging = ctx_->TenantOn(target_server_, tenant_id_);
+  if (staging != nullptr) {
+    staging->ChargeCpu(options_.prepare.base_seconds, nullptr);
+  }
+  sim_->After(options_.prepare.base_seconds,
+              [this, alive = std::weak_ptr<bool>(alive_)] {
+                if (!alive.expired()) BeginDeltaRounds();
+              });
+}
+
+void MigrationJob::BeginDeltaRounds() {
+  EnterPhase(MigrationPhase::kDelta);
+  ShipNextDelta();
+}
+
+void MigrationJob::ShipNextDelta() {
+  if (finished_ || phase_ != MigrationPhase::kDelta) return;
+  const uint64_t pending = shipper_->PendingBytes();
+  if (pending <= options_.delta_handover_bytes ||
+      shipper_->rounds_shipped() >= options_.max_delta_rounds) {
+    BeginHandover();
+    return;
+  }
+  throttle_->Acquire(pending, [this, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    if (finished_ || phase_ != MigrationPhase::kDelta) return;
+    Result<backup::DeltaRound> round = shipper_->ReadRound();
+    if (!round.ok()) {
+      Finish(round.status());
+      return;
+    }
+    if (round->empty()) {
+      BeginHandover();
+      return;
+    }
+    report_.delta_bytes += round->bytes;
+    ++report_.delta_rounds;
+    const uint64_t read_bytes = std::max<uint64_t>(round->bytes, 1);
+    source_db_->ChargeSequentialRead(
+        read_bytes, kMigrationStreamId,
+        [this, alive = std::weak_ptr<bool>(alive_),
+         round = std::move(*round)]() mutable {
+          if (alive.expired()) return;
+          net::Message msg;
+          msg.type = net::MessageType::kDeltaBatch;
+          msg.tenant_id = tenant_id_;
+          msg.lsn = round.to;
+          msg.payload_bytes = round.bytes;
+          msg.log_records = std::move(round.records);
+          ctx_->SendMessage(source_server_, target_server_, msg);
+        });
+  });
+}
+
+void MigrationJob::BeginHandover() {
+  EnterPhase(MigrationPhase::kHandover);
+  if (options_.mode == MigrationMode::kStopAndCopy) {
+    // Already frozen since the start; go straight to the final message.
+    OnSourceDrained();
+    return;
+  }
+  freeze_time_ = sim_->Now();
+  source_db_->Freeze([this, alive = std::weak_ptr<bool>(alive_)] {
+    if (!alive.expired()) OnSourceDrained();
+  });
+}
+
+void MigrationJob::OnSourceDrained() {
+  if (finished_) return;
+  backup::DeltaRound final_round;
+  if (shipper_ != nullptr) {
+    Result<backup::DeltaRound> round = shipper_->ReadRound();
+    if (!round.ok()) {
+      Finish(round.status());
+      return;
+    }
+    final_round = std::move(*round);
+  }
+  source_digest_ = source_db_->StateDigest();
+  report_.delta_bytes += final_round.bytes;
+
+  const uint64_t read_bytes = std::max<uint64_t>(final_round.bytes, 1);
+  // The final delta is tiny and the tenant is frozen: it ships at full
+  // speed, bypassing the throttle (the freeze window must stay short).
+  source_db_->ChargeSequentialRead(
+      read_bytes, kMigrationStreamId,
+      [this, alive = std::weak_ptr<bool>(alive_),
+       final_round = std::move(final_round)]() mutable {
+        if (alive.expired()) return;
+        net::Message msg;
+        msg.type = net::MessageType::kHandoverRequest;
+        msg.tenant_id = tenant_id_;
+        msg.lsn = std::max(final_round.to, source_db_->last_lsn());
+        msg.digest = source_digest_;
+        msg.payload_bytes = final_round.bytes;
+        msg.log_records = std::move(final_round.records);
+        ctx_->SendMessage(source_server_, target_server_, msg);
+      });
+}
+
+void MigrationJob::OnHandoverAck(const net::Message& message) {
+  report_.digest_match = message.digest == source_digest_;
+  if (!report_.digest_match) {
+    // The staging replica diverged (e.g., data was lost in transit).
+    // NEVER hand authority to a divergent copy: discard the target,
+    // resume service at the source, and fail the migration loudly.
+    SLACKER_LOG_ERROR << "handover digest mismatch for tenant " << tenant_id_
+                      << "; aborting handover";
+    net::Message abort;
+    abort.type = net::MessageType::kMigrateAbort;
+    abort.tenant_id = tenant_id_;
+    abort.error = "handover digest mismatch";
+    ctx_->SendMessage(source_server_, target_server_, abort);
+    source_db_->Unfreeze();
+    Finish(Status::Corruption("handover digest mismatch"));
+    return;
+  }
+  const Status dir_status =
+      ctx_->directory()->Update(tenant_id_, target_server_);
+  if (!dir_status.ok()) {
+    Finish(dir_status);
+    return;
+  }
+  // Digests agree: commit — the target unfreezes and serves.
+  net::Message commit;
+  commit.type = net::MessageType::kHandoverCommit;
+  commit.tenant_id = tenant_id_;
+  ctx_->SendMessage(source_server_, target_server_, commit);
+  report_.downtime_ms = MsFromSeconds(sim_->Now() - freeze_time_);
+  // Queries stranded behind the source's read lock bounce to the new
+  // authoritative replica (clients re-resolve and retry).
+  source_db_->FailQueued();
+  ctx_->DeleteTenantOn(source_server_, tenant_id_);
+  source_db_ = nullptr;
+  Finish(Status::Ok());
+}
+
+void MigrationJob::Finish(Status status) {
+  if (finished_) return;
+  finished_ = true;
+  if (binlog_pin_ != 0 && source_db_ != nullptr) {
+    source_db_->UnpinBinlog(binlog_pin_);
+    binlog_pin_ = 0;
+  }
+  EnterPhase(status.ok() ? MigrationPhase::kDone : MigrationPhase::kFailed);
+  if (tick_ != nullptr) tick_->Stop();
+  if (throttle_ != nullptr) throttle_->SetRate(0.0);
+  report_.status = status;
+  report_.end_time = sim_->Now();
+  SLACKER_LOG_INFO << "migration of tenant " << tenant_id_ << " finished: "
+                   << status.ToString() << " in "
+                   << report_.DurationSeconds() << "s";
+  if (done_) {
+    // Defer so the owning controller can safely erase this job from
+    // inside the callback.
+    sim_->After(0.0, [done = std::move(done_), report = report_] {
+      done(report);
+    });
+  }
+}
+
+double MigrationJob::current_rate_mbps() const {
+  return throttle_ == nullptr ? 0.0 : MBpsFromBytesPerSec(throttle_->rate());
+}
+
+TargetSession::TargetSession(MigrationContext* ctx, uint64_t self_server,
+                             uint64_t source_server,
+                             const net::Message& request,
+                             const MigrationOptions& options)
+    : ctx_(ctx),
+      self_server_(self_server),
+      source_server_(source_server),
+      tenant_id_(request.tenant_id),
+      options_(options) {
+  const engine::TenantConfig config =
+      ConfigFromWire(request.tenant_id, request.config);
+  Result<engine::TenantDb*> staging =
+      ctx_->CreateTenantOn(self_server_, config, /*load=*/false,
+                           /*frozen=*/true);
+  if (!staging.ok()) {
+    status_ = staging.status();
+    return;
+  }
+  staging_ = *staging;
+}
+
+void TargetSession::ReplyToRequest() {
+  if (staging_ == nullptr) {
+    Abort(status_);
+    return;
+  }
+  net::Message accept;
+  accept.type = net::MessageType::kMigrateAccept;
+  accept.tenant_id = tenant_id_;
+  ctx_->SendMessage(self_server_, source_server_, accept);
+}
+
+void TargetSession::Abort(const Status& status) {
+  status_ = status;
+  finished_ = true;
+  if (staging_ != nullptr) {
+    ctx_->DeleteTenantOn(self_server_, tenant_id_);
+    staging_ = nullptr;
+  }
+  net::Message abort;
+  abort.type = net::MessageType::kMigrateAbort;
+  abort.tenant_id = tenant_id_;
+  abort.error = status.ToString();
+  ctx_->SendMessage(self_server_, source_server_, abort);
+}
+
+void TargetSession::ArmDecisionProbe() {
+  ctx_->simulator()->After(1.0, [this,
+                                 alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    if (finished_ || !awaiting_decision_) return;
+    const Result<uint64_t> authority =
+        ctx_->directory()->Lookup(tenant_id_);
+    if (authority.ok() && *authority == self_server_) {
+      // The source committed (directory switches strictly before the
+      // commit message is sent); the message was merely lost.
+      SLACKER_LOG_WARN << "handover commit for tenant " << tenant_id_
+                       << " inferred from directory";
+      awaiting_decision_ = false;
+      staging_->Unfreeze();
+      finished_ = true;
+      status_ = Status::Ok();
+      return;
+    }
+    if (++decision_probes_ >= 30) {
+      // The source never switched authority: the migration is dead.
+      SLACKER_LOG_WARN << "handover for tenant " << tenant_id_
+                       << " abandoned; discarding staging replica";
+      awaiting_decision_ = false;
+      finished_ = true;
+      status_ = Status::Aborted("handover abandoned");
+      if (staging_ != nullptr) {
+        ctx_->DeleteTenantOn(self_server_, tenant_id_);
+        staging_ = nullptr;
+      }
+      return;
+    }
+    ArmDecisionProbe();
+  });
+}
+
+void TargetSession::HandleMessage(const net::Message& message) {
+  if (finished_) return;
+  switch (message.type) {
+    case net::MessageType::kSnapshotBegin:
+      return;
+    case net::MessageType::kSnapshotChunk: {
+      ApplyRows(message.rows, staging_->mutable_table());
+      rows_received_ += message.rows.size();
+      if (message.payload_bytes > 0) {
+        staging_->ChargeSequentialWrite(message.payload_bytes,
+                                        UINT64_MAX - 2, nullptr);
+      }
+      return;
+    }
+    case net::MessageType::kSnapshotEnd: {
+      net::Message ack;
+      ack.type = net::MessageType::kSnapshotAck;
+      ack.tenant_id = tenant_id_;
+      ack.lsn = message.lsn;
+      ctx_->SendMessage(self_server_, source_server_, ack);
+      return;
+    }
+    case net::MessageType::kDeltaBatch: {
+      // Apply cost scales with the round size, busying a target core;
+      // the ack is sent once application completes.
+      const SimTime apply_cost =
+          options_.delta_apply_seconds_per_mib *
+          (static_cast<double>(message.payload_bytes) / kMiB);
+      auto records = message.log_records;
+      const storage::Lsn to = message.lsn;
+      staging_->ChargeCpu(apply_cost,
+                          [this, alive = std::weak_ptr<bool>(alive_),
+                           records = std::move(records), to]() {
+        if (alive.expired()) return;
+        if (finished_ || staging_ == nullptr) return;
+        wal::Replay(records, staging_->mutable_table());
+        net::Message ack;
+        ack.type = net::MessageType::kDeltaAck;
+        ack.tenant_id = tenant_id_;
+        ack.lsn = to;
+        ctx_->SendMessage(self_server_, source_server_, ack);
+      });
+      return;
+    }
+    case net::MessageType::kMigrateAbort: {
+      // Source cancelled: discard the staging instance quietly (no
+      // echo — the source job has already finished).
+      finished_ = true;
+      status_ = Status::Aborted(message.error);
+      if (staging_ != nullptr) {
+        ctx_->DeleteTenantOn(self_server_, tenant_id_);
+        staging_ = nullptr;
+      }
+      return;
+    }
+    case net::MessageType::kHandoverRequest: {
+      wal::Replay(message.log_records, staging_->mutable_table());
+      staging_->SyncCursorsAfterIngest(message.lsn);
+      // Stay frozen: authority only transfers once the source confirms
+      // the digests agree (kHandoverCommit).
+      net::Message ack;
+      ack.type = net::MessageType::kHandoverAck;
+      ack.tenant_id = tenant_id_;
+      ack.digest = staging_->StateDigest();
+      ctx_->SendMessage(self_server_, source_server_, ack);
+      awaiting_decision_ = true;
+      ArmDecisionProbe();
+      return;
+    }
+    case net::MessageType::kHandoverCommit: {
+      awaiting_decision_ = false;
+      staging_->Unfreeze();
+      finished_ = true;
+      status_ = Status::Ok();
+      return;
+    }
+    default:
+      SLACKER_LOG_WARN << "target session ignoring message type "
+                       << static_cast<int>(message.type);
+  }
+}
+
+}  // namespace slacker

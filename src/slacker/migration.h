@@ -1,0 +1,224 @@
+#ifndef SLACKER_SLACKER_MIGRATION_H_
+#define SLACKER_SLACKER_MIGRATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/backup/delta_shipper.h"
+#include "src/backup/hot_backup.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/control/latency_monitor.h"
+#include "src/engine/tenant_db.h"
+#include "src/net/message.h"
+#include "src/resource/token_bucket.h"
+#include "src/sim/simulator.h"
+#include "src/slacker/options.h"
+#include "src/slacker/tenant_directory.h"
+#include "src/slacker/throttle_policy.h"
+#include "src/workload/trace.h"
+
+namespace slacker {
+
+/// The slice of the cluster a migration needs: tenant placement/
+/// lifecycle, peer messaging, latency monitors, and the frontend
+/// directory. Implemented by Cluster; mocked in unit tests.
+class MigrationContext {
+ public:
+  virtual ~MigrationContext() = default;
+
+  virtual sim::Simulator* simulator() = 0;
+  virtual engine::TenantDb* TenantOn(uint64_t server_id,
+                                     uint64_t tenant_id) = 0;
+  virtual Result<engine::TenantDb*> CreateTenantOn(
+      uint64_t server_id, const engine::TenantConfig& config, bool load,
+      bool frozen) = 0;
+  virtual Status DeleteTenantOn(uint64_t server_id, uint64_t tenant_id) = 0;
+  /// Transmits over the simulated network; the receiving controller's
+  /// HandleMessage fires on delivery.
+  virtual void SendMessage(uint64_t from_server, uint64_t to_server,
+                           const net::Message& message) = 0;
+  virtual control::LatencyMonitor* MonitorOn(uint64_t server_id) = 0;
+  virtual TenantDirectory* directory() = 0;
+};
+
+/// Everything measured about one migration.
+struct MigrationReport {
+  Status status;
+  uint64_t tenant_id = 0;
+  uint64_t source_server = 0;
+  uint64_t target_server = 0;
+  MigrationMode mode = MigrationMode::kLive;
+  std::string throttle_name;
+
+  SimTime start_time = 0.0;
+  SimTime end_time = 0.0;
+  SimTime negotiate_seconds = 0.0;
+  SimTime snapshot_seconds = 0.0;
+  SimTime prepare_seconds = 0.0;
+  SimTime delta_seconds = 0.0;
+  SimTime handover_seconds = 0.0;
+
+  /// Span during which the tenant could not serve queries (freeze →
+  /// directory switch). The paper's headline: "well under 1 second" for
+  /// live migration; the whole copy for stop-and-copy.
+  double downtime_ms = 0.0;
+
+  uint64_t snapshot_bytes = 0;
+  uint64_t delta_bytes = 0;
+  int delta_rounds = 0;
+  /// Source and target state digests agreed at handover.
+  bool digest_match = false;
+
+  /// (time, MB/s) per controller tick.
+  workload::TimeSeries throttle_series;
+  /// (time, ms) process variable per tick (PID throttle only).
+  workload::TimeSeries controller_latency_series;
+
+  SimTime DurationSeconds() const { return end_time - start_time; }
+  /// Payload moved divided by wall time — the paper's "average throttle
+  /// speed over the entire duration of migration".
+  double AverageRateMbps() const;
+};
+
+/// Source-side driver of one migration (§2.3.2's three steps plus
+/// negotiation): requests a staging instance on the target, streams the
+/// hot-backup snapshot through the throttle, waits out prepare, ships
+/// delta rounds until they are small, then performs the freeze-and-
+/// handover. Owns the pv token bucket and the 1 Hz controller tick.
+class MigrationJob {
+ public:
+  using DoneCallback = std::function<void(const MigrationReport&)>;
+
+  MigrationJob(MigrationContext* ctx, uint64_t tenant_id,
+               uint64_t source_server, uint64_t target_server,
+               const MigrationOptions& options, DoneCallback done);
+  ~MigrationJob();
+
+  MigrationJob(const MigrationJob&) = delete;
+  MigrationJob& operator=(const MigrationJob&) = delete;
+
+  /// Validates preconditions and sends the migrate request.
+  Status Start();
+
+  /// Cancels an in-flight migration: the source stays authoritative
+  /// (and resumes service if stop-and-copy had frozen it), the target
+  /// discards its staging instance, and the done callback fires with
+  /// kAborted. Refused once the handover has begun — at that point the
+  /// freeze window is already sub-second and rollback would race the
+  /// authority switch.
+  Status Cancel(const std::string& reason);
+
+  /// Feeds responses (accept/acks/abort) from the target controller.
+  void HandleMessage(const net::Message& message);
+
+  MigrationPhase phase() const { return phase_; }
+  double current_rate_mbps() const;
+  uint64_t tenant_id() const { return tenant_id_; }
+  const MigrationReport& report() const { return report_; }
+
+ private:
+  void EnterPhase(MigrationPhase phase);
+  void StartController();
+  void OnTick(SimTime now);
+  void BeginSnapshot();
+  void PumpSnapshot();
+  void OnSnapshotDrained();
+  void BeginPrepare();
+  void BeginDeltaRounds();
+  void ShipNextDelta();
+  void BeginHandover();
+  void OnSourceDrained();
+  void OnHandoverAck(const net::Message& message);
+  void Finish(Status status);
+  void ArmWatchdog(SimTime delay);
+  /// Watchdog escalation once the handover itself is stuck (lost ack):
+  /// abort without the Cancel() phase guard. Safe because no commit
+  /// decision has been made while the job is unfinished.
+  void ForceAbort(const std::string& reason);
+
+  MigrationContext* ctx_;
+  sim::Simulator* sim_;
+  uint64_t tenant_id_;
+  uint64_t source_server_;
+  uint64_t target_server_;
+  MigrationOptions options_;
+  DoneCallback done_;
+
+  engine::TenantDb* source_db_ = nullptr;
+  std::unique_ptr<resource::TokenBucket> throttle_;
+  std::unique_ptr<ThrottlePolicy> policy_;
+  std::unique_ptr<sim::PeriodicTimer> tick_;
+  std::unique_ptr<backup::HotBackupStream> snapshot_;
+  std::unique_ptr<backup::DeltaShipper> shipper_;
+
+  MigrationPhase phase_ = MigrationPhase::kNegotiate;
+  SimTime phase_start_ = 0.0;
+  SimTime freeze_time_ = 0.0;
+  int inflight_chunks_ = 0;
+  bool acquiring_ = false;
+  bool snapshot_sent_end_ = false;
+  int binlog_pin_ = 0;
+  int handover_grace_checks_ = 0;
+  uint64_t source_digest_ = 0;
+  bool finished_ = false;
+
+  // Expires when the job is destroyed; async callbacks routed through
+  // external resources (disk queues, CPU queues, freeze waiters) check
+  // it before touching the job, so cancellation can free the job while
+  // its I/O is still in flight.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  MigrationReport report_;
+};
+
+/// Target-side state of one incoming migration: the staging tenant plus
+/// handlers for chunks, deltas, and the handover. Created by the
+/// controller on kMigrateRequest; destroyed after handover or abort.
+class TargetSession {
+ public:
+  TargetSession(MigrationContext* ctx, uint64_t self_server,
+                uint64_t source_server, const net::Message& request,
+                const MigrationOptions& options);
+
+  /// Sends kMigrateAccept (staging instance ready) or kMigrateAbort
+  /// (e.g., the tenant already exists here). Call once after
+  /// construction.
+  void ReplyToRequest();
+
+  void HandleMessage(const net::Message& message);
+
+  bool finished() const { return finished_; }
+  uint64_t tenant_id() const { return tenant_id_; }
+  Status status() const { return status_; }
+
+ private:
+  void Abort(const Status& status);
+  /// After sending the handover ack, the commit (or abort) message may
+  /// be lost. The frontend directory is the decision record — the
+  /// source updates it *before* sending commit — so the session polls
+  /// it: directory == self means committed; persistently == source
+  /// means the migration died and the staging copy self-destructs.
+  void ArmDecisionProbe();
+
+  MigrationContext* ctx_;
+  uint64_t self_server_;
+  uint64_t source_server_;
+  uint64_t tenant_id_;
+  MigrationOptions options_;
+  engine::TenantDb* staging_ = nullptr;
+  uint64_t rows_received_ = 0;
+  bool finished_ = false;
+  bool awaiting_decision_ = false;
+  int decision_probes_ = 0;
+  Status status_;
+  /// See MigrationJob::alive_.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_MIGRATION_H_

@@ -1,0 +1,104 @@
+#ifndef SLACKER_SLACKER_OPTIONS_H_
+#define SLACKER_SLACKER_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/backup/hot_backup.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/control/adaptive_pid.h"
+#include "src/control/pid.h"
+
+namespace slacker {
+
+/// How the migration's transfer rate is managed.
+enum class ThrottleKind {
+  /// Manually chosen constant rate — the paper's baseline (§5.2).
+  kFixed,
+  /// Slacker's PID-driven dynamic throttle (§4).
+  kPid,
+  /// Self-tuning variant (§6): the PID gains are rescaled online from a
+  /// recursive estimate of the latency-vs-rate plant gain.
+  kAdaptivePid,
+};
+
+/// Migration mechanism.
+enum class MigrationMode {
+  /// Hot-backup snapshot + delta rounds + sub-second handover (§2.3.2).
+  kLive,
+  /// Freeze, copy the data directory, restart on the target (§2.3.1).
+  /// Downtime is the whole copy.
+  kStopAndCopy,
+};
+
+/// Everything that parameterizes one migration. Defaults reproduce the
+/// paper's evaluation settings.
+struct MigrationOptions {
+  MigrationMode mode = MigrationMode::kLive;
+
+  ThrottleKind throttle = ThrottleKind::kPid;
+  /// kFixed: the constant rate (MB/s).
+  double fixed_rate_mbps = 10.0;
+  /// kPid: gains/setpoint/clamps. Defaults are the paper's.
+  /// kAdaptivePid: used as AdaptivePidOptions::base.
+  control::PidConfig pid;
+  /// kAdaptivePid: identification/rescale parameters.
+  control::AdaptivePidOptions adaptive;
+  /// §6 "Throttling Both Source and Target": feed the controller
+  /// max(source latency, target latency) instead of source only.
+  bool use_target_latency = false;
+  /// Controller timestep; the paper ticks once per second.
+  SimTime controller_tick = 1.0;
+  /// kPid: 0 regulates the windowed *mean* latency (the paper's
+  /// choice); e.g., 95 regulates the window's 95th percentile against
+  /// the setpoint, matching percentile SLAs directly (§3).
+  double feedback_percentile = 0.0;
+
+  backup::HotBackupOptions backup;
+  backup::PrepareOptions prepare;
+
+  /// Handover begins once the pending delta shrinks below this.
+  uint64_t delta_handover_bytes = 256 * kKiB;
+  /// Hard cap on delta rounds (workloads with extreme write turnover
+  /// never converge; give up and force the freeze, as in [12]).
+  int max_delta_rounds = 50;
+  /// Target-side CPU cost per MiB of applied delta.
+  SimTime delta_apply_seconds_per_mib = 0.01;
+
+  /// kStopAndCopy: file-level copy (true, §2.3.1's fast path) or
+  /// mysqldump-style export/import (false), which pays an additional
+  /// re-import cost at the target.
+  bool file_level_copy = true;
+  /// Import cost for the mysqldump variant, seconds per MiB reimported.
+  SimTime import_seconds_per_mib = 0.08;
+
+  /// Cap on snapshot chunks in flight inside the source disk queue
+  /// (readahead depth). The throttle, not this, is the intended limiter.
+  int max_inflight_chunks = 32;
+
+  /// Watchdog: abort the migration if it has not completed within this
+  /// many simulated seconds (0 disables). Protects against lost peers —
+  /// a stalled migration otherwise holds its staging tenant and job
+  /// slot forever.
+  SimTime timeout_seconds = 0.0;
+
+  Status Validate() const;
+};
+
+/// Phases of a live migration, for reporting.
+enum class MigrationPhase {
+  kNegotiate,
+  kSnapshot,
+  kPrepare,
+  kDelta,
+  kHandover,
+  kDone,
+  kFailed,
+};
+
+const char* MigrationPhaseName(MigrationPhase phase);
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_OPTIONS_H_

@@ -1,0 +1,188 @@
+#include "src/slacker/placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace slacker {
+
+Status PlacementOptions::Validate() const {
+  if (overload_threshold <= 0 || overload_threshold > 1) {
+    return Status::InvalidArgument("overload_threshold must be in (0, 1]");
+  }
+  if (target_headroom < 0 || target_headroom >= overload_threshold) {
+    return Status::InvalidArgument("bad target_headroom");
+  }
+  if (consolidation_threshold < 0 ||
+      consolidation_threshold >= overload_threshold) {
+    return Status::InvalidArgument("bad consolidation_threshold");
+  }
+  return Status::Ok();
+}
+
+PlacementAdvisor::PlacementAdvisor(PlacementOptions options)
+    : options_(options) {}
+
+int PlacementAdvisor::PickTarget(const std::vector<ServerLoadStat>& servers,
+                                 uint64_t exclude_server, double demand,
+                                 const std::vector<double>& projected) const {
+  int best = -1;
+  double best_util = 1e9;
+  for (size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i].server_id == exclude_server) continue;
+    const double after = projected[i] + demand;
+    if (after > options_.overload_threshold - options_.target_headroom) {
+      continue;
+    }
+    if (projected[i] < best_util) {
+      best_util = projected[i];
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<MigrationPlan> PlacementAdvisor::PlanRelief(
+    const std::vector<ServerLoadStat>& servers) const {
+  std::vector<MigrationPlan> plans;
+  // Projected utilization per server as plans accumulate.
+  std::vector<double> projected;
+  projected.reserve(servers.size());
+  for (const auto& s : servers) projected.push_back(s.utilization);
+
+  for (size_t si = 0; si < servers.size(); ++si) {
+    const ServerLoadStat& server = servers[si];
+    if (server.utilization <= options_.overload_threshold) continue;
+    const double excess = server.utilization - options_.overload_threshold;
+
+    // Which tenant: smallest data footprint among those whose removal
+    // clears the excess ("judicious decisions ... which tenant", §1.2);
+    // if none alone suffices, take the biggest-demand tenant.
+    const TenantLoadStat* pick = nullptr;
+    for (const TenantLoadStat& t : server.tenants) {
+      if (t.demand + 1e-9 < excess) continue;
+      if (pick == nullptr || t.data_bytes < pick->data_bytes) pick = &t;
+    }
+    if (pick == nullptr) {
+      for (const TenantLoadStat& t : server.tenants) {
+        if (pick == nullptr || t.demand > pick->demand) pick = &t;
+      }
+    }
+    if (pick == nullptr) continue;
+
+    const int target = PickTarget(servers, server.server_id, pick->demand,
+                                  projected);
+    if (target < 0) continue;  // Nowhere to put it; needs new capacity.
+
+    MigrationPlan plan;
+    plan.tenant_id = pick->tenant_id;
+    plan.source_server = server.server_id;
+    plan.target_server = servers[target].server_id;
+    std::ostringstream why;
+    why << "server " << server.server_id << " at "
+        << static_cast<int>(server.utilization * 100)
+        << "% > threshold; tenant " << pick->tenant_id << " ("
+        << static_cast<int>(pick->demand * 100) << "% demand, "
+        << pick->data_bytes / (1024 * 1024) << " MiB) to server "
+        << servers[target].server_id;
+    plan.rationale = why.str();
+    projected[si] -= pick->demand;
+    projected[target] += pick->demand;
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+std::vector<MigrationPlan> PlacementAdvisor::PlanConsolidation(
+    const std::vector<ServerLoadStat>& servers) const {
+  std::vector<MigrationPlan> plans;
+  std::vector<double> projected;
+  projected.reserve(servers.size());
+  for (const auto& s : servers) projected.push_back(s.utilization);
+
+  // Empty the least-loaded candidates first.
+  std::vector<size_t> order(servers.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return servers[a].utilization < servers[b].utilization;
+  });
+
+  for (size_t oi : order) {
+    const ServerLoadStat& server = servers[oi];
+    if (server.utilization > options_.consolidation_threshold) continue;
+    if (server.tenants.empty()) continue;
+    // Try to place every tenant elsewhere; all-or-nothing (a server
+    // that keeps one tenant cannot be powered down).
+    std::vector<MigrationPlan> batch;
+    std::vector<double> trial = projected;
+    bool ok = true;
+    for (const TenantLoadStat& t : server.tenants) {
+      const int target =
+          PickTarget(servers, server.server_id, t.demand, trial);
+      if (target < 0) {
+        ok = false;
+        break;
+      }
+      MigrationPlan plan;
+      plan.tenant_id = t.tenant_id;
+      plan.source_server = server.server_id;
+      plan.target_server = servers[target].server_id;
+      plan.rationale = "consolidate: empty server " +
+                       std::to_string(server.server_id) +
+                       " for shutdown";
+      trial[target] += t.demand;
+      batch.push_back(plan);
+    }
+    if (!ok) continue;
+    projected = trial;
+    projected[oi] = 0.0;
+    plans.insert(plans.end(), batch.begin(), batch.end());
+  }
+  return plans;
+}
+
+std::vector<ServerLoadStat> CollectClusterStats(
+    Cluster* cluster,
+    std::vector<std::pair<uint64_t, uint64_t>>* ops_baseline) {
+  std::vector<ServerLoadStat> stats;
+  std::vector<std::pair<uint64_t, uint64_t>> new_baseline;
+  for (size_t sid = 0; sid < cluster->num_servers(); ++sid) {
+    Server* server = cluster->server(sid);
+    ServerLoadStat stat;
+    stat.server_id = sid;
+    stat.utilization = server->disk()->Utilization();
+
+    // Apportion the server's utilization across tenants by the number
+    // of operations each executed since the last sample.
+    uint64_t total_ops = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> deltas;  // (tenant, ops).
+    for (uint64_t tenant_id : server->tenants()->TenantIds()) {
+      const engine::TenantDb* db = server->tenants()->Get(tenant_id);
+      uint64_t prev = 0;
+      if (ops_baseline != nullptr) {
+        for (const auto& [id, ops] : *ops_baseline) {
+          if (id == tenant_id) prev = ops;
+        }
+      }
+      const uint64_t now = db->ops_executed();
+      const uint64_t delta = now >= prev ? now - prev : now;
+      deltas.emplace_back(tenant_id, delta);
+      new_baseline.emplace_back(tenant_id, now);
+      total_ops += delta;
+    }
+    for (const auto& [tenant_id, ops] : deltas) {
+      TenantLoadStat tstat;
+      tstat.tenant_id = tenant_id;
+      tstat.demand = total_ops == 0
+                         ? 0.0
+                         : stat.utilization * static_cast<double>(ops) /
+                               static_cast<double>(total_ops);
+      tstat.data_bytes = server->tenants()->Get(tenant_id)->DataBytes();
+      stat.tenants.push_back(tstat);
+    }
+    stats.push_back(std::move(stat));
+  }
+  if (ops_baseline != nullptr) *ops_baseline = std::move(new_baseline);
+  return stats;
+}
+
+}  // namespace slacker

@@ -1,0 +1,34 @@
+#ifndef SLACKER_SLACKER_STOP_AND_COPY_H_
+#define SLACKER_SLACKER_STOP_AND_COPY_H_
+
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/slacker/options.h"
+
+namespace slacker {
+
+/// Closed-form expectations for the stop-and-copy baseline (§2.3.1),
+/// used by the size-sweep bench and to sanity-check the simulated
+/// results: downtime is the entire copy and therefore proportional to
+/// database size.
+struct StopAndCopyEstimate {
+  SimTime copy_seconds = 0.0;
+  SimTime import_seconds = 0.0;
+  SimTime TotalDowntimeSeconds() const { return copy_seconds + import_seconds; }
+};
+
+/// `rate_bytes_per_sec` is the effective transfer rate (the throttle or
+/// the slower of disk/network).
+StopAndCopyEstimate EstimateStopAndCopy(uint64_t data_bytes,
+                                        double rate_bytes_per_sec,
+                                        const MigrationOptions& options);
+
+/// Convenience: MigrationOptions preset for a stop-and-copy migration
+/// at a fixed rate.
+MigrationOptions StopAndCopyOptions(double fixed_rate_mbps,
+                                    bool file_level_copy = true);
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_STOP_AND_COPY_H_

@@ -1,0 +1,70 @@
+#include "src/slacker/tenant_directory.h"
+
+#include <utility>
+
+namespace slacker {
+
+Status TenantDirectory::Register(uint64_t tenant_id, uint64_t server_id) {
+  auto [it, inserted] = map_.emplace(tenant_id, server_id);
+  if (!inserted) {
+    return Status::AlreadyExists("tenant " + std::to_string(tenant_id) +
+                                 " already registered");
+  }
+  Notify(tenant_id, server_id, server_id);
+  return Status::Ok();
+}
+
+Result<uint64_t> TenantDirectory::Lookup(uint64_t tenant_id) const {
+  auto it = map_.find(tenant_id);
+  if (it == map_.end()) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id) +
+                            " not in directory");
+  }
+  return it->second;
+}
+
+Status TenantDirectory::Update(uint64_t tenant_id, uint64_t new_server) {
+  auto it = map_.find(tenant_id);
+  if (it == map_.end()) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id) +
+                            " not in directory");
+  }
+  const uint64_t old_server = it->second;
+  it->second = new_server;
+  ++updates_;
+  Notify(tenant_id, old_server, new_server);
+  return Status::Ok();
+}
+
+Status TenantDirectory::Remove(uint64_t tenant_id) {
+  if (map_.erase(tenant_id) == 0) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id) +
+                            " not in directory");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint64_t> TenantDirectory::TenantsOn(uint64_t server_id) const {
+  std::vector<uint64_t> out;
+  for (const auto& [tenant, server] : map_) {
+    if (server == server_id) out.push_back(tenant);
+  }
+  return out;
+}
+
+int TenantDirectory::AddListener(Listener listener) {
+  const int token = next_token_++;
+  listeners_[token] = std::move(listener);
+  return token;
+}
+
+void TenantDirectory::RemoveListener(int token) { listeners_.erase(token); }
+
+void TenantDirectory::Notify(uint64_t tenant, uint64_t old_server,
+                             uint64_t new_server) {
+  for (const auto& [token, listener] : listeners_) {
+    if (listener) listener(tenant, old_server, new_server);
+  }
+}
+
+}  // namespace slacker

@@ -1,0 +1,51 @@
+#ifndef SLACKER_SLACKER_TENANT_DIRECTORY_H_
+#define SLACKER_SLACKER_TENANT_DIRECTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace slacker {
+
+/// The lightweight frontend from §2.2: an up-to-date mapping of tenants
+/// to servers. Client machines register as listeners and are notified
+/// when a tenant they query migrates (the prototype's alternative to
+/// gratuitous-ARP rebinding).
+class TenantDirectory {
+ public:
+  /// (tenant_id, old_server, new_server); old == new for registration.
+  using Listener =
+      std::function<void(uint64_t, uint64_t, uint64_t)>;
+
+  Status Register(uint64_t tenant_id, uint64_t server_id);
+  Result<uint64_t> Lookup(uint64_t tenant_id) const;
+  /// Moves the authoritative mapping (the handover's last step).
+  Status Update(uint64_t tenant_id, uint64_t new_server);
+  Status Remove(uint64_t tenant_id);
+
+  /// Tenants currently mapped to `server_id`.
+  std::vector<uint64_t> TenantsOn(uint64_t server_id) const;
+  size_t tenant_count() const { return map_.size(); }
+
+  /// Returns a token for RemoveListener.
+  int AddListener(Listener listener);
+  void RemoveListener(int token);
+
+  uint64_t updates() const { return updates_; }
+
+ private:
+  void Notify(uint64_t tenant, uint64_t old_server, uint64_t new_server);
+
+  std::unordered_map<uint64_t, uint64_t> map_;
+  std::map<int, Listener> listeners_;
+  int next_token_ = 1;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_TENANT_DIRECTORY_H_

@@ -1,0 +1,56 @@
+#include "src/slacker/tenant_manager.h"
+
+#include <string>
+
+namespace slacker {
+
+TenantManager::TenantManager(sim::Simulator* sim, resource::DiskModel* disk,
+                             resource::CpuModel* cpu,
+                             storage::BufferPool* shared_pool)
+    : sim_(sim), disk_(disk), cpu_(cpu), shared_pool_(shared_pool) {}
+
+Result<engine::TenantDb*> TenantManager::CreateTenant(
+    const engine::TenantConfig& config, bool load, bool frozen) {
+  if (tenants_.count(config.tenant_id) > 0) {
+    return Status::AlreadyExists("tenant " +
+                                 std::to_string(config.tenant_id) +
+                                 " already on this server");
+  }
+  auto db = shared_pool_ != nullptr
+                ? std::make_unique<engine::TenantDb>(sim_, disk_, cpu_,
+                                                     config, shared_pool_)
+                : std::make_unique<engine::TenantDb>(sim_, disk_, cpu_,
+                                                     config);
+  if (load) db->Load();
+  if (frozen) db->Freeze(nullptr);
+  engine::TenantDb* raw = db.get();
+  tenants_[config.tenant_id] = std::move(db);
+  return raw;
+}
+
+Status TenantManager::DeleteTenant(uint64_t tenant_id) {
+  if (tenants_.erase(tenant_id) == 0) {
+    return Status::NotFound("tenant " + std::to_string(tenant_id) +
+                            " not on this server");
+  }
+  return Status::Ok();
+}
+
+engine::TenantDb* TenantManager::Get(uint64_t tenant_id) {
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+const engine::TenantDb* TenantManager::Get(uint64_t tenant_id) const {
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<uint64_t> TenantManager::TenantIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(tenants_.size());
+  for (const auto& [id, db] : tenants_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace slacker

@@ -1,0 +1,62 @@
+#ifndef SLACKER_SLACKER_TENANT_MANAGER_H_
+#define SLACKER_SLACKER_TENANT_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/tenant_db.h"
+#include "src/resource/cpu.h"
+#include "src/resource/disk.h"
+#include "src/sim/simulator.h"
+
+namespace slacker {
+
+/// Creates, deletes, and owns the tenant databases on one server —
+/// "the middleware is also responsible for instantiating (or deleting)
+/// MySQL instances for new tenants" (§2). Each tenant is its own
+/// process/data-directory pair; all tenants share the server's disk and
+/// CPU.
+class TenantManager {
+ public:
+  /// `shared_pool`, when non-null, puts every tenant created here into
+  /// shared-process multitenancy: all page accesses contend for that
+  /// one pool instead of each tenant owning a private one (§6/§8
+  /// extension). Must outlive the manager.
+  TenantManager(sim::Simulator* sim, resource::DiskModel* disk,
+                resource::CpuModel* cpu,
+                storage::BufferPool* shared_pool = nullptr);
+
+  TenantManager(const TenantManager&) = delete;
+  TenantManager& operator=(const TenantManager&) = delete;
+
+  /// Creates a tenant instance. `load` pre-populates the table;
+  /// `frozen` starts it with the read lock held (migration staging
+  /// instances stay frozen until handover).
+  Result<engine::TenantDb*> CreateTenant(const engine::TenantConfig& config,
+                                         bool load = true,
+                                         bool frozen = false);
+
+  /// Stops the instance and deletes its data directory.
+  Status DeleteTenant(uint64_t tenant_id);
+
+  /// nullptr if not hosted here.
+  engine::TenantDb* Get(uint64_t tenant_id);
+  const engine::TenantDb* Get(uint64_t tenant_id) const;
+
+  std::vector<uint64_t> TenantIds() const;
+  size_t tenant_count() const { return tenants_.size(); }
+
+ private:
+  sim::Simulator* sim_;
+  resource::DiskModel* disk_;
+  resource::CpuModel* cpu_;
+  storage::BufferPool* shared_pool_;
+  std::unordered_map<uint64_t, std::unique_ptr<engine::TenantDb>> tenants_;
+};
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_TENANT_MANAGER_H_

@@ -1,0 +1,89 @@
+#include "src/slacker/throttle_policy.h"
+
+#include <algorithm>
+
+namespace slacker {
+
+FixedThrottlePolicy::FixedThrottlePolicy(double rate_mbps)
+    : rate_mbps_(rate_mbps) {}
+
+double FixedThrottlePolicy::OnTick(SimTime /*now*/, SimTime /*dt*/) {
+  return rate_mbps_;
+}
+
+PidThrottlePolicy::PidThrottlePolicy(const control::PidConfig& config,
+                                     control::LatencyMonitor* source_monitor,
+                                     control::LatencyMonitor* target_monitor,
+                                     double feedback_percentile)
+    : pid_(config, control::PidForm::kVelocity),
+      source_monitor_(source_monitor),
+      target_monitor_(target_monitor),
+      feedback_percentile_(feedback_percentile) {}
+
+double PidThrottlePolicy::InitialRateMbps() {
+  // The controller ramps from zero: it will "ramp up the speed of
+  // migration until transaction latency is close to the setpoint"
+  // (§4.2.2) rather than start fast and disrupt the workload.
+  pid_.Reset(pid_.config().output_min);
+  return pid_.output();
+}
+
+double PidThrottlePolicy::OnTick(SimTime now, SimTime dt) {
+  auto read = [&](control::LatencyMonitor* monitor) {
+    return feedback_percentile_ > 0.0
+               ? monitor->WindowPercentileMs(now, feedback_percentile_)
+               : monitor->WindowAverageMs(now);
+  };
+  double latency = read(source_monitor_);
+  if (target_monitor_ != nullptr) {
+    latency = std::max(latency, read(target_monitor_));
+  }
+  last_latency_ms_ = latency;
+  return pid_.Update(latency, dt);
+}
+
+AdaptivePidThrottlePolicy::AdaptivePidThrottlePolicy(
+    const control::AdaptivePidOptions& options,
+    control::LatencyMonitor* source_monitor,
+    control::LatencyMonitor* target_monitor)
+    : pid_(options),
+      source_monitor_(source_monitor),
+      target_monitor_(target_monitor) {}
+
+double AdaptivePidThrottlePolicy::InitialRateMbps() {
+  pid_.Reset(0.0);
+  return pid_.output();
+}
+
+double AdaptivePidThrottlePolicy::OnTick(SimTime now, SimTime dt) {
+  double latency = source_monitor_->WindowAverageMs(now);
+  if (target_monitor_ != nullptr) {
+    latency = std::max(latency, target_monitor_->WindowAverageMs(now));
+  }
+  last_latency_ms_ = latency;
+  return pid_.Update(latency, dt);
+}
+
+std::unique_ptr<ThrottlePolicy> MakeThrottlePolicy(
+    const MigrationOptions& options, control::LatencyMonitor* source_monitor,
+    control::LatencyMonitor* target_monitor) {
+  switch (options.throttle) {
+    case ThrottleKind::kFixed:
+      return std::make_unique<FixedThrottlePolicy>(options.fixed_rate_mbps);
+    case ThrottleKind::kPid:
+      return std::make_unique<PidThrottlePolicy>(
+          options.pid, source_monitor,
+          options.use_target_latency ? target_monitor : nullptr,
+          options.feedback_percentile);
+    case ThrottleKind::kAdaptivePid: {
+      control::AdaptivePidOptions adaptive = options.adaptive;
+      adaptive.base = options.pid;
+      return std::make_unique<AdaptivePidThrottlePolicy>(
+          adaptive, source_monitor,
+          options.use_target_latency ? target_monitor : nullptr);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace slacker

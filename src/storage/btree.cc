@@ -1,0 +1,417 @@
+#include "src/storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace slacker::storage {
+
+struct BTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  bool is_leaf;
+  InternalNode* parent = nullptr;
+};
+
+struct BTree::LeafNode : BTree::Node {
+  LeafNode() : Node(true) {}
+  std::vector<Record> records;  // Sorted by key.
+  LeafNode* next = nullptr;
+  LeafNode* prev = nullptr;
+};
+
+struct BTree::InternalNode : BTree::Node {
+  InternalNode() : Node(false) {}
+  // children.size() == keys.size() + 1. Subtree children[i] holds keys
+  // strictly below keys[i]; children[i+1] holds keys >= keys[i].
+  std::vector<uint64_t> keys;
+  std::vector<Node*> children;
+
+  size_t ChildIndex(const Node* child) const {
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i] == child) return i;
+    }
+    assert(false && "child not found in parent");
+    return 0;
+  }
+};
+
+namespace {
+
+constexpr size_t kMinFill = BTree::kFanout / 2;
+
+/// Index of the child subtree that may contain `key`.
+size_t DescendIndex(const std::vector<uint64_t>& keys, uint64_t key) {
+  // First separator strictly greater than key → go left of it; keys
+  // equal to a separator belong to the right subtree.
+  return std::upper_bound(keys.begin(), keys.end(), key) - keys.begin();
+}
+
+struct RecordKeyLess {
+  bool operator()(const Record& r, uint64_t key) const { return r.key < key; }
+  bool operator()(uint64_t key, const Record& r) const { return key < r.key; }
+};
+
+}  // namespace
+
+BTree::BTree() : root_(new LeafNode()), size_(0) {}
+
+BTree::~BTree() { FreeTree(root_); }
+
+BTree::BTree(BTree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = new LeafNode();
+  other.size_ = 0;
+}
+
+BTree& BTree::operator=(BTree&& other) noexcept {
+  if (this == &other) return *this;
+  FreeTree(root_);
+  root_ = other.root_;
+  size_ = other.size_;
+  other.root_ = new LeafNode();
+  other.size_ = 0;
+  return *this;
+}
+
+void BTree::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    for (Node* child : internal->children) FreeTree(child);
+  }
+  if (node->is_leaf) {
+    delete static_cast<LeafNode*>(node);
+  } else {
+    delete static_cast<InternalNode*>(node);
+  }
+}
+
+void BTree::Clear() {
+  FreeTree(root_);
+  root_ = new LeafNode();
+  size_ = 0;
+}
+
+BTree::LeafNode* BTree::FindLeaf(uint64_t key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    node = internal->children[DescendIndex(internal->keys, key)];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+const Record* BTree::Get(uint64_t key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->records.begin(), leaf->records.end(), key,
+                             RecordKeyLess{});
+  if (it == leaf->records.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+bool BTree::Put(const Record& record) {
+  LeafNode* leaf = FindLeaf(record.key);
+  auto it = std::lower_bound(leaf->records.begin(), leaf->records.end(),
+                             record.key, RecordKeyLess{});
+  if (it != leaf->records.end() && it->key == record.key) {
+    *it = record;
+    return false;
+  }
+  leaf->records.insert(it, record);
+  ++size_;
+
+  if (leaf->records.size() <= kFanout) return true;
+
+  // Split: the upper half moves into a new right sibling.
+  auto* right = new LeafNode();
+  const size_t mid = leaf->records.size() / 2;
+  right->records.assign(leaf->records.begin() + mid, leaf->records.end());
+  leaf->records.resize(mid);
+  right->next = leaf->next;
+  if (right->next != nullptr) right->next->prev = right;
+  right->prev = leaf;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->records.front().key, right);
+  return true;
+}
+
+void BTree::InsertIntoParent(Node* left, uint64_t sep, Node* right) {
+  if (left->parent == nullptr) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(sep);
+    new_root->children = {left, right};
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+
+  InternalNode* parent = left->parent;
+  const size_t pos = parent->ChildIndex(left);
+  parent->keys.insert(parent->keys.begin() + pos, sep);
+  parent->children.insert(parent->children.begin() + pos + 1, right);
+  right->parent = parent;
+
+  if (parent->children.size() <= kFanout) return;
+
+  // Split the internal node; the middle separator is pushed up, not
+  // copied (B+-tree internal split).
+  auto* new_right = new InternalNode();
+  const size_t mid = parent->keys.size() / 2;
+  const uint64_t push_up = parent->keys[mid];
+  new_right->keys.assign(parent->keys.begin() + mid + 1, parent->keys.end());
+  new_right->children.assign(parent->children.begin() + mid + 1,
+                             parent->children.end());
+  parent->keys.resize(mid);
+  parent->children.resize(mid + 1);
+  for (Node* child : new_right->children) child->parent = new_right;
+  InsertIntoParent(parent, push_up, new_right);
+}
+
+bool BTree::Erase(uint64_t key) {
+  LeafNode* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->records.begin(), leaf->records.end(), key,
+                             RecordKeyLess{});
+  if (it == leaf->records.end() || it->key != key) return false;
+  leaf->records.erase(it);
+  --size_;
+  RebalanceAfterErase(leaf);
+  return true;
+}
+
+void BTree::RebalanceAfterErase(Node* node) {
+  // Root never underflows; an empty internal root collapses below.
+  if (node->parent == nullptr) {
+    if (!node->is_leaf) {
+      auto* internal = static_cast<InternalNode*>(node);
+      if (internal->children.size() == 1) {
+        root_ = internal->children.front();
+        root_->parent = nullptr;
+        internal->children.clear();
+        delete internal;
+      }
+    }
+    return;
+  }
+
+  const size_t fill = node->is_leaf
+                          ? static_cast<LeafNode*>(node)->records.size()
+                          : static_cast<InternalNode*>(node)->children.size();
+  if (fill >= kMinFill) return;
+
+  InternalNode* parent = node->parent;
+  const size_t idx = parent->ChildIndex(node);
+  Node* left_sib = idx > 0 ? parent->children[idx - 1] : nullptr;
+  Node* right_sib =
+      idx + 1 < parent->children.size() ? parent->children[idx + 1] : nullptr;
+
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    auto* left = static_cast<LeafNode*>(left_sib);
+    auto* right = static_cast<LeafNode*>(right_sib);
+    if (left != nullptr && left->records.size() > kMinFill) {
+      // Borrow the largest record from the left sibling.
+      leaf->records.insert(leaf->records.begin(), left->records.back());
+      left->records.pop_back();
+      parent->keys[idx - 1] = leaf->records.front().key;
+      return;
+    }
+    if (right != nullptr && right->records.size() > kMinFill) {
+      leaf->records.push_back(right->records.front());
+      right->records.erase(right->records.begin());
+      parent->keys[idx] = right->records.front().key;
+      return;
+    }
+    // Merge with a sibling (prefer left so the survivor keeps its slot).
+    LeafNode* into = left != nullptr ? left : leaf;
+    LeafNode* from = left != nullptr ? leaf : right;
+    const size_t sep_idx = left != nullptr ? idx - 1 : idx;
+    into->records.insert(into->records.end(), from->records.begin(),
+                         from->records.end());
+    into->next = from->next;
+    if (from->next != nullptr) from->next->prev = into;
+    parent->keys.erase(parent->keys.begin() + sep_idx);
+    parent->children.erase(parent->children.begin() + sep_idx + 1);
+    delete from;
+    RebalanceAfterErase(parent);
+    return;
+  }
+
+  auto* internal = static_cast<InternalNode*>(node);
+  auto* left = static_cast<InternalNode*>(left_sib);
+  auto* right = static_cast<InternalNode*>(right_sib);
+  if (left != nullptr && left->children.size() > kMinFill) {
+    // Rotate through the parent separator.
+    internal->children.insert(internal->children.begin(),
+                              left->children.back());
+    internal->children.front()->parent = internal;
+    internal->keys.insert(internal->keys.begin(), parent->keys[idx - 1]);
+    parent->keys[idx - 1] = left->keys.back();
+    left->keys.pop_back();
+    left->children.pop_back();
+    return;
+  }
+  if (right != nullptr && right->children.size() > kMinFill) {
+    internal->children.push_back(right->children.front());
+    internal->children.back()->parent = internal;
+    internal->keys.push_back(parent->keys[idx]);
+    parent->keys[idx] = right->keys.front();
+    right->keys.erase(right->keys.begin());
+    right->children.erase(right->children.begin());
+    return;
+  }
+  // Merge internals: the parent separator descends between them.
+  InternalNode* into = left != nullptr ? left : internal;
+  InternalNode* from = left != nullptr ? internal : right;
+  const size_t sep_idx = left != nullptr ? idx - 1 : idx;
+  into->keys.push_back(parent->keys[sep_idx]);
+  into->keys.insert(into->keys.end(), from->keys.begin(), from->keys.end());
+  for (Node* child : from->children) child->parent = into;
+  into->children.insert(into->children.end(), from->children.begin(),
+                        from->children.end());
+  from->children.clear();
+  parent->keys.erase(parent->keys.begin() + sep_idx);
+  parent->children.erase(parent->children.begin() + sep_idx + 1);
+  delete from;
+  RebalanceAfterErase(parent);
+}
+
+const Record& BTree::Iterator::record() const {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  return leaf->records[index_];
+}
+
+void BTree::Iterator::Next() {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  ++index_;
+  while (leaf != nullptr && index_ >= leaf->records.size()) {
+    leaf = leaf->next;
+    index_ = 0;
+  }
+  leaf_ = leaf;
+}
+
+BTree::Iterator BTree::Seek(uint64_t key) const {
+  const LeafNode* leaf = FindLeaf(key);
+  const auto it = std::lower_bound(leaf->records.begin(), leaf->records.end(),
+                                   key, RecordKeyLess{});
+  Iterator iter;
+  iter.leaf_ = leaf;
+  iter.index_ = static_cast<size_t>(it - leaf->records.begin());
+  if (iter.index_ >= leaf->records.size()) {
+    // Either an empty root leaf or key beyond this leaf; walk forward.
+    const LeafNode* next = leaf->next;
+    while (next != nullptr && next->records.empty()) next = next->next;
+    iter.leaf_ = next;
+    iter.index_ = 0;
+  }
+  return iter;
+}
+
+BTree::Iterator BTree::Begin() const { return Seek(0); }
+
+Result<uint64_t> BTree::MaxKey() const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children.back();
+  }
+  const auto* leaf = static_cast<const LeafNode*>(node);
+  if (leaf->records.empty()) return Status::NotFound("tree is empty");
+  return leaf->records.back().key;
+}
+
+int BTree::LeafDepth() const {
+  int depth = 0;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children.front();
+    ++depth;
+  }
+  return depth;
+}
+
+int BTree::Height() const { return LeafDepth() + 1; }
+
+Status BTree::ValidateNode(const Node* node, uint64_t lo, uint64_t hi,
+                           bool has_lo, bool has_hi, int depth,
+                           int expected_leaf_depth) const {
+  const bool is_root = node == root_;
+  if (node->is_leaf) {
+    if (depth != expected_leaf_depth) {
+      return Status::Corruption("leaves at unequal depth");
+    }
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (!is_root && leaf->records.size() < kMinFill) {
+      return Status::Corruption("leaf underfull");
+    }
+    if (leaf->records.size() > kFanout) {
+      return Status::Corruption("leaf overfull");
+    }
+    uint64_t prev = 0;
+    bool first = true;
+    for (const Record& r : leaf->records) {
+      if (!first && r.key <= prev) return Status::Corruption("leaf unsorted");
+      if (has_lo && r.key < lo) return Status::Corruption("key below bound");
+      if (has_hi && r.key >= hi) return Status::Corruption("key above bound");
+      prev = r.key;
+      first = false;
+    }
+    return Status::Ok();
+  }
+
+  const auto* internal = static_cast<const InternalNode*>(node);
+  if (internal->children.size() != internal->keys.size() + 1) {
+    return Status::Corruption("child/key count mismatch");
+  }
+  if (!is_root && internal->children.size() < kMinFill) {
+    return Status::Corruption("internal underfull");
+  }
+  if (internal->children.size() > kFanout) {
+    return Status::Corruption("internal overfull");
+  }
+  for (size_t i = 1; i < internal->keys.size(); ++i) {
+    if (internal->keys[i] <= internal->keys[i - 1]) {
+      return Status::Corruption("separators unsorted");
+    }
+  }
+  for (size_t i = 0; i < internal->children.size(); ++i) {
+    const Node* child = internal->children[i];
+    if (child->parent != internal) {
+      return Status::Corruption("bad parent pointer");
+    }
+    const bool child_has_lo = i > 0 || has_lo;
+    const uint64_t child_lo = i > 0 ? internal->keys[i - 1] : lo;
+    const bool child_has_hi = i < internal->keys.size() || has_hi;
+    const uint64_t child_hi =
+        i < internal->keys.size() ? internal->keys[i] : hi;
+    SLACKER_RETURN_IF_ERROR(ValidateNode(child, child_lo, child_hi,
+                                         child_has_lo, child_has_hi, depth + 1,
+                                         expected_leaf_depth));
+  }
+  return Status::Ok();
+}
+
+Status BTree::Validate() const {
+  SLACKER_RETURN_IF_ERROR(
+      ValidateNode(root_, 0, 0, false, false, 0, LeafDepth()));
+  // The leaf chain must enumerate exactly size() records in order.
+  size_t seen = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  for (Iterator it = Begin(); it.Valid(); it.Next()) {
+    if (!first && it.record().key <= prev) {
+      return Status::Corruption("leaf chain unsorted");
+    }
+    prev = it.record().key;
+    first = false;
+    ++seen;
+  }
+  if (seen != size_) {
+    std::ostringstream msg;
+    msg << "leaf chain count " << seen << " != size " << size_;
+    return Status::Corruption(msg.str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace slacker::storage

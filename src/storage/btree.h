@@ -1,0 +1,95 @@
+#ifndef SLACKER_STORAGE_BTREE_H_
+#define SLACKER_STORAGE_BTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/record.h"
+
+namespace slacker::storage {
+
+/// In-memory B+-tree keyed by uint64, storing Record values in the
+/// leaves. This is the tenant's clustered index (the InnoDB analog).
+/// Supports upsert, point lookup, delete with rebalancing, and ordered
+/// scans via leaf chaining — the scan is what the hot-backup streamer
+/// uses to produce a page-ordered snapshot.
+class BTree {
+ public:
+  /// Maximum records per leaf / children per internal node.
+  static constexpr size_t kFanout = 64;
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+
+  /// Inserts or overwrites by record.key. Returns true if the key was
+  /// newly inserted (false for overwrite).
+  bool Put(const Record& record);
+
+  /// Returns the record for `key`, or nullptr. The pointer is
+  /// invalidated by any mutation.
+  const Record* Get(uint64_t key) const;
+
+  /// Removes `key`; returns false if absent.
+  bool Erase(uint64_t key);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void Clear();
+
+  /// Forward iterator over records in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    const Record& record() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    const void* leaf_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  /// Iterator at the first record with key >= `key`.
+  Iterator Seek(uint64_t key) const;
+  /// Iterator at the smallest key.
+  Iterator Begin() const;
+
+  /// Largest key present; NotFound when empty.
+  Result<uint64_t> MaxKey() const;
+
+  /// Checks structural invariants (key ordering, fill factors, leaf
+  /// chain consistency, separator correctness). Used by tests.
+  Status Validate() const;
+
+  /// Height of the tree (1 = just a root leaf).
+  int Height() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  LeafNode* FindLeaf(uint64_t key) const;
+  void InsertIntoParent(Node* left, uint64_t sep, Node* right);
+  void RebalanceAfterErase(Node* node);
+  Status ValidateNode(const Node* node, uint64_t lo, uint64_t hi,
+                      bool has_lo, bool has_hi, int depth,
+                      int expected_leaf_depth) const;
+  int LeafDepth() const;
+  void FreeTree(Node* node);
+
+  Node* root_;
+  size_t size_;
+};
+
+}  // namespace slacker::storage
+
+#endif  // SLACKER_STORAGE_BTREE_H_

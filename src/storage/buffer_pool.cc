@@ -1,0 +1,76 @@
+#include "src/storage/buffer_pool.h"
+
+namespace slacker::storage {
+
+BufferPool::BufferPool(BufferPoolOptions options) : options_(options) {}
+
+PageAccess BufferPool::Touch(uint64_t page_id, bool make_dirty) {
+  PageAccess result;
+  auto it = table_.find(page_id);
+  if (it != table_.end()) {
+    result.hit = true;
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (make_dirty && !it->second->dirty) {
+      it->second->dirty = true;
+      ++dirty_count_;
+    }
+    return result;
+  }
+
+  ++misses_;
+  if (table_.size() >= options_.capacity_pages && !lru_.empty()) {
+    const Frame& victim = lru_.back();
+    if (victim.dirty) {
+      result.evicted_dirty = true;
+      result.evicted_page = victim.page_id;
+      --dirty_count_;
+    }
+    table_.erase(victim.page_id);
+    lru_.pop_back();
+  }
+  lru_.push_front(Frame{page_id, make_dirty});
+  table_[page_id] = lru_.begin();
+  if (make_dirty) ++dirty_count_;
+  return result;
+}
+
+bool BufferPool::Contains(uint64_t page_id) const {
+  return table_.count(page_id) > 0;
+}
+
+bool BufferPool::IsDirty(uint64_t page_id) const {
+  auto it = table_.find(page_id);
+  return it != table_.end() && it->second->dirty;
+}
+
+size_t BufferPool::FlushAll() {
+  size_t flushed = 0;
+  for (Frame& frame : lru_) {
+    if (frame.dirty) {
+      frame.dirty = false;
+      ++flushed;
+    }
+  }
+  dirty_count_ = 0;
+  return flushed;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  table_.clear();
+  dirty_count_ = 0;
+}
+
+double BufferPool::HitRate() const {
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void BufferPool::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace slacker::storage

@@ -1,0 +1,29 @@
+#include "src/storage/record.h"
+
+#include "src/common/checksum.h"
+
+namespace slacker::storage {
+
+uint64_t RowDigest(uint64_t key, Lsn lsn, uint64_t value_seed) {
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  digest = HashCombine(digest, key);
+  digest = HashCombine(digest, lsn);
+  digest = HashCombine(digest, value_seed);
+  return digest;
+}
+
+std::vector<uint8_t> MaterializePayload(const Record& record,
+                                        size_t logical_size) {
+  std::vector<uint8_t> out(logical_size);
+  uint64_t state = record.digest ^ record.key;
+  for (size_t i = 0; i < logical_size; ++i) {
+    // xorshift64 keeps expansion cheap and deterministic.
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    out[i] = static_cast<uint8_t>(state);
+  }
+  return out;
+}
+
+}  // namespace slacker::storage

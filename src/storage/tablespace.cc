@@ -1,0 +1,7 @@
+#include "src/storage/tablespace.h"
+
+// TablespaceLayout is header-only arithmetic; this translation unit
+// exists to give the header a home in the library and to anchor any
+// future non-inline additions.
+
+namespace slacker::storage {}  // namespace slacker::storage

@@ -1,0 +1,68 @@
+#include "src/wal/binlog.h"
+
+#include <algorithm>
+
+namespace slacker::wal {
+
+Status Binlog::Append(const LogRecord& record, uint64_t row_image_bytes) {
+  if (record.lsn <= last_lsn_) {
+    return Status::InvalidArgument("binlog LSN not increasing");
+  }
+  records_.push_back(record);
+  const uint64_t bytes = record.EncodedSize() + row_image_bytes;
+  record_bytes_.push_back(bytes);
+  total_bytes_ += bytes;
+  last_lsn_ = record.lsn;
+  return Status::Ok();
+}
+
+namespace {
+
+struct LsnLess {
+  bool operator()(const LogRecord& r, storage::Lsn lsn) const {
+    return r.lsn < lsn;
+  }
+  bool operator()(storage::Lsn lsn, const LogRecord& r) const {
+    return lsn < r.lsn;
+  }
+};
+
+}  // namespace
+
+Status Binlog::ReadRange(storage::Lsn from, storage::Lsn to,
+                         std::vector<LogRecord>* out) const {
+  out->clear();
+  if (from > to) return Status::Ok();
+  if (from < first_lsn_) {
+    return Status::OutOfRange("binlog range purged");
+  }
+  auto begin = std::lower_bound(records_.begin(), records_.end(), from,
+                                LsnLess{});
+  for (auto it = begin; it != records_.end() && it->lsn <= to; ++it) {
+    out->push_back(*it);
+  }
+  return Status::Ok();
+}
+
+uint64_t Binlog::BytesInRange(storage::Lsn from, storage::Lsn to) const {
+  if (from > to || records_.empty()) return 0;
+  auto begin = std::lower_bound(records_.begin(), records_.end(), from,
+                                LsnLess{});
+  uint64_t bytes = 0;
+  size_t idx = static_cast<size_t>(begin - records_.begin());
+  for (auto it = begin; it != records_.end() && it->lsn <= to; ++it, ++idx) {
+    bytes += record_bytes_[idx];
+  }
+  return bytes;
+}
+
+void Binlog::Truncate(storage::Lsn upto) {
+  while (!records_.empty() && records_.front().lsn < upto) {
+    total_bytes_ -= record_bytes_.front();
+    records_.pop_front();
+    record_bytes_.pop_front();
+  }
+  first_lsn_ = std::max(first_lsn_, upto);
+}
+
+}  // namespace slacker::wal

@@ -1,0 +1,63 @@
+#include "src/wal/log_record.h"
+
+namespace slacker::wal {
+
+void LogRecord::EncodeTo(ByteWriter* writer) const {
+  writer->PutU8(static_cast<uint8_t>(type));
+  writer->PutVarint64(lsn);
+  writer->PutVarint64(txn_id);
+  writer->PutVarint64(key);
+  if (type == LogType::kInsert || type == LogType::kUpdate) {
+    writer->PutFixed64(digest);
+  }
+}
+
+size_t LogRecord::EncodedSize() const {
+  ByteWriter writer;
+  EncodeTo(&writer);
+  return writer.size();
+}
+
+Status LogRecord::DecodeFrom(ByteReader* reader, LogRecord* out) {
+  uint8_t type_byte;
+  SLACKER_RETURN_IF_ERROR(reader->GetU8(&type_byte));
+  if (type_byte < 1 || type_byte > 4) {
+    return Status::Corruption("bad log record type");
+  }
+  out->type = static_cast<LogType>(type_byte);
+  SLACKER_RETURN_IF_ERROR(reader->GetVarint64(&out->lsn));
+  SLACKER_RETURN_IF_ERROR(reader->GetVarint64(&out->txn_id));
+  SLACKER_RETURN_IF_ERROR(reader->GetVarint64(&out->key));
+  out->digest = 0;
+  if (out->type == LogType::kInsert || out->type == LogType::kUpdate) {
+    SLACKER_RETURN_IF_ERROR(reader->GetFixed64(&out->digest));
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeLogBatch(const std::vector<LogRecord>& records) {
+  ByteWriter writer;
+  writer.PutVarint64(records.size());
+  for (const LogRecord& r : records) r.EncodeTo(&writer);
+  return writer.Release();
+}
+
+Status DecodeLogBatch(const std::vector<uint8_t>& data,
+                      std::vector<LogRecord>* out) {
+  ByteReader reader(data);
+  uint64_t count;
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&count));
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    LogRecord record;
+    SLACKER_RETURN_IF_ERROR(LogRecord::DecodeFrom(&reader, &record));
+    out->push_back(record);
+  }
+  if (!reader.exhausted()) {
+    return Status::Corruption("trailing bytes after log batch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace slacker::wal

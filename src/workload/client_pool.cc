@@ -1,0 +1,155 @@
+#include "src/workload/client_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace slacker::workload {
+
+ClientPool::ClientPool(sim::Simulator* sim, YcsbWorkload* workload,
+                       TenantResolver* resolver, LatencyObserver observer)
+    : sim_(sim),
+      workload_(workload),
+      resolver_(resolver),
+      observer_(std::move(observer)) {}
+
+void ClientPool::Start() {
+  if (running_) return;
+  running_ = true;
+  if (workload_->config().open_loop) {
+    ScheduleNextArrival();
+  } else {
+    StartClosedClients();
+  }
+}
+
+void ClientPool::Stop() {
+  running_ = false;
+  if (arrival_event_ != 0) {
+    sim_->Cancel(arrival_event_);
+    arrival_event_ = 0;
+  }
+}
+
+void ClientPool::ScheduleNextArrival() {
+  arrival_event_ = sim_->After(workload_->NextInterarrival(), [this] {
+    arrival_event_ = 0;
+    if (!running_) return;
+    OnArrival();
+    ScheduleNextArrival();
+  });
+}
+
+void ClientPool::OnArrival() {
+  PendingTxn txn;
+  txn.spec = workload_->NextTxn();
+  txn.arrival = sim_->Now();
+  ++stats_.arrivals;
+  outstanding_arrivals_.insert(txn.arrival);
+
+  if (busy_clients_ < workload_->config().mpl) {
+    Dispatch(std::move(txn));
+  } else {
+    queue_.push_back(std::move(txn));
+    stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth,
+                                                queue_.size());
+  }
+}
+
+void ClientPool::Dispatch(PendingTxn txn) {
+  ++busy_clients_;
+  ++txn.attempts;
+  engine::TenantDb* db = resolver_->Resolve(txn.spec.tenant_id);
+  if (db == nullptr) {
+    // No mapping (tenant being created/deleted); retry shortly.
+    --busy_clients_;
+    sim_->After(0.01, [this, txn = std::move(txn)]() mutable {
+      ++busy_clients_;
+      engine::TxnResult result;
+      result.status = Status::Unavailable("no tenant mapping");
+      result.txn_id = txn.spec.txn_id;
+      result.start = txn.arrival;
+      result.end = sim_->Now();
+      OnTxnDone(std::move(txn), result);
+    });
+    return;
+  }
+  engine::TxnSpec spec = txn.spec;
+  const SimTime arrival = txn.arrival;
+  engine::ExecuteTransaction(
+      sim_, db, std::move(spec), arrival,
+      [this, txn = std::move(txn)](const engine::TxnResult& result) mutable {
+        OnTxnDone(std::move(txn), result);
+      });
+}
+
+void ClientPool::OnTxnDone(PendingTxn txn, const engine::TxnResult& result) {
+  --busy_clients_;
+  if (!result.status.ok() && txn.attempts < kMaxAttempts) {
+    // The tenant moved under us (or has no mapping yet): re-resolve and
+    // retry the whole transaction, preserving the arrival time so the
+    // disruption is charged to latency.
+    ++stats_.retries;
+    Dispatch(std::move(txn));
+    // A client slot freed and immediately re-filled; still give the
+    // queue a chance below via the dispatch accounting.
+    return;
+  }
+
+  auto it = outstanding_arrivals_.find(txn.arrival);
+  if (it != outstanding_arrivals_.end()) outstanding_arrivals_.erase(it);
+
+  if (result.status.ok()) {
+    ++stats_.completed;
+    const double latency_ms = result.LatencyMs();
+    latencies_.Add(latency_ms);
+    latency_series_.Add(result.end, latency_ms);
+    for (const engine::WrittenRow& w : result.writes) {
+      AckedWrite& slot = acked_writes_[w.key];
+      if (w.lsn > slot.lsn) {
+        slot = AckedWrite{w.lsn, w.digest, w.deleted};
+      }
+    }
+    if (observer_) observer_(txn.spec.tenant_id, result.end, latency_ms);
+  } else {
+    ++stats_.failed;
+    SLACKER_LOG_WARN << "txn " << txn.spec.txn_id << " failed after "
+                     << txn.attempts
+                     << " attempts: " << result.status.ToString();
+  }
+
+  // Hand the freed client to the queue head.
+  if (!queue_.empty() && busy_clients_ < workload_->config().mpl) {
+    PendingTxn next = std::move(queue_.front());
+    queue_.pop_front();
+    Dispatch(std::move(next));
+  }
+
+  // Closed loop: this client generates its next transaction.
+  if (!workload_->config().open_loop && running_) {
+    sim_->After(workload_->config().think_time, [this] {
+      if (running_) ClosedClientLoop();
+    });
+  }
+}
+
+void ClientPool::StartClosedClients() {
+  for (int i = 0; i < workload_->config().mpl; ++i) ClosedClientLoop();
+}
+
+void ClientPool::ClosedClientLoop() {
+  PendingTxn txn;
+  txn.spec = workload_->NextTxn();
+  txn.arrival = sim_->Now();
+  ++stats_.arrivals;
+  outstanding_arrivals_.insert(txn.arrival);
+  Dispatch(std::move(txn));
+}
+
+double ClientPool::OldestOutstandingAgeMs(SimTime now) const {
+  if (outstanding_arrivals_.empty()) return 0.0;
+  return MsFromSeconds(now - *outstanding_arrivals_.begin());
+}
+
+}  // namespace slacker::workload

@@ -1,0 +1,122 @@
+#ifndef SLACKER_WORKLOAD_CLIENT_POOL_H_
+#define SLACKER_WORKLOAD_CLIENT_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/engine/transaction.h"
+#include "src/sim/simulator.h"
+#include "src/workload/trace.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker::workload {
+
+/// Maps a tenant id to its currently authoritative database instance —
+/// the client-side view of the frontend directory (§2.2). Implemented
+/// by the Slacker cluster.
+class TenantResolver {
+ public:
+  virtual ~TenantResolver() = default;
+  virtual engine::TenantDb* Resolve(uint64_t tenant_id) = 0;
+};
+
+struct ClientPoolStats {
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+  uint64_t max_queue_depth = 0;
+};
+
+/// The benchmark client for one tenant: an open-loop Poisson arrival
+/// process feeding an MPL-bounded pool of client threads with a FIFO
+/// overflow queue, per §5.1.2 — "the latency of a transaction is the
+/// sum of the time spent in queue and the transaction execution time".
+/// Transactions that land on a tenant mid-handover fail with
+/// kUnavailable and are retried transparently against the new replica,
+/// with the original arrival time preserved (the retry cost shows up as
+/// latency, exactly as a real redirected client would experience).
+class ClientPool {
+ public:
+  /// Observer invoked on every completed transaction (the server-side
+  /// latency monitor feed).
+  using LatencyObserver =
+      std::function<void(uint64_t tenant_id, SimTime now, double latency_ms)>;
+
+  /// `workload` and `resolver` must outlive the pool.
+  ClientPool(sim::Simulator* sim, YcsbWorkload* workload,
+             TenantResolver* resolver, LatencyObserver observer = nullptr);
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Begins generating arrivals.
+  void Start();
+  /// Stops generating new arrivals; queued and in-flight transactions
+  /// still complete.
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Age (ms) of the oldest transaction not yet completed, or 0.
+  double OldestOutstandingAgeMs(SimTime now) const;
+
+  /// Per-transaction latency samples (ms) across the whole run.
+  const PercentileTracker& latencies() const { return latencies_; }
+  /// (completion time, latency ms) series for figure plotting.
+  const TimeSeries& latency_series() const { return latency_series_; }
+  const ClientPoolStats& stats() const { return stats_; }
+  int busy_clients() const { return busy_clients_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+  /// Most recent acknowledged write per key: key -> (lsn, digest,
+  /// deleted). Used by durability checks after migration.
+  struct AckedWrite {
+    storage::Lsn lsn = 0;
+    uint64_t digest = 0;
+    bool deleted = false;
+  };
+  const std::unordered_map<uint64_t, AckedWrite>& acked_writes() const {
+    return acked_writes_;
+  }
+
+ private:
+  struct PendingTxn {
+    engine::TxnSpec spec;
+    SimTime arrival = 0.0;
+    int attempts = 0;
+  };
+
+  void ScheduleNextArrival();
+  void OnArrival();
+  void Dispatch(PendingTxn txn);
+  void OnTxnDone(PendingTxn txn, const engine::TxnResult& result);
+  void StartClosedClients();
+  void ClosedClientLoop();
+
+  static constexpr int kMaxAttempts = 8;
+
+  sim::Simulator* sim_;
+  YcsbWorkload* workload_;
+  TenantResolver* resolver_;
+  LatencyObserver observer_;
+
+  bool running_ = false;
+  sim::EventId arrival_event_ = 0;
+  int busy_clients_ = 0;
+  std::deque<PendingTxn> queue_;
+  std::multiset<double> outstanding_arrivals_;
+
+  PercentileTracker latencies_;
+  TimeSeries latency_series_;
+  ClientPoolStats stats_;
+  std::unordered_map<uint64_t, AckedWrite> acked_writes_;
+};
+
+}  // namespace slacker::workload
+
+#endif  // SLACKER_WORKLOAD_CLIENT_POOL_H_

@@ -1,0 +1,70 @@
+#include "src/workload/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slacker::workload {
+
+DiurnalPattern::DiurnalPattern(SimTime period, double amplitude,
+                               SimTime phase)
+    : period_(period), amplitude_(amplitude), phase_(phase) {}
+
+double DiurnalPattern::Rate(SimTime t) const {
+  const double factor =
+      1.0 + amplitude_ * std::sin(2.0 * M_PI * (t - phase_) / period_);
+  return std::max(factor, 0.0);
+}
+
+FlashCrowdPattern::FlashCrowdPattern(SimTime start, SimTime ramp,
+                                     SimTime hold, double peak)
+    : start_(start), ramp_(ramp), hold_(hold), peak_(peak) {}
+
+double FlashCrowdPattern::Rate(SimTime t) const {
+  if (t < start_) return 1.0;
+  const SimTime into = t - start_;
+  if (into < ramp_) {
+    return 1.0 + (peak_ - 1.0) * (into / ramp_);
+  }
+  if (into < ramp_ + hold_) return peak_;
+  if (into < ramp_ + hold_ + ramp_) {
+    const SimTime decay = into - ramp_ - hold_;
+    return peak_ - (peak_ - 1.0) * (decay / ramp_);
+  }
+  return 1.0;
+}
+
+StepPattern::StepPattern(std::vector<std::pair<SimTime, double>> steps)
+    : steps_(std::move(steps)) {
+  std::sort(steps_.begin(), steps_.end());
+}
+
+double StepPattern::Rate(SimTime t) const {
+  double factor = 1.0;
+  for (const auto& [when, value] : steps_) {
+    if (t < when) break;
+    factor = value;
+  }
+  return factor;
+}
+
+PatternDriver::PatternDriver(sim::Simulator* sim, YcsbWorkload* workload,
+                             const ArrivalPattern* pattern,
+                             SimTime update_period)
+    : workload_(workload),
+      pattern_(pattern),
+      base_interarrival_(workload->mean_interarrival()),
+      timer_(sim, update_period, [this](SimTime now) { Apply(now); }) {}
+
+void PatternDriver::Start() { timer_.Start(); }
+void PatternDriver::Stop() { timer_.Stop(); }
+
+void PatternDriver::Apply(SimTime now) {
+  const double factor = std::max(pattern_->Rate(now), 1e-3);
+  // ScaleArrivalRate is multiplicative on the current rate; compose the
+  // correction that moves us from the current factor to the new one.
+  workload_->ScaleArrivalRate(factor / current_factor_);
+  current_factor_ = factor;
+  (void)base_interarrival_;
+}
+
+}  // namespace slacker::workload

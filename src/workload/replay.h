@@ -1,0 +1,101 @@
+#ifndef SLACKER_WORKLOAD_REPLAY_H_
+#define SLACKER_WORKLOAD_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/engine/transaction.h"
+#include "src/sim/simulator.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker::workload {
+
+/// A recorded arrival: when a transaction arrived and what it did.
+/// Captured once, replayed identically — the paper compares Slacker and
+/// fixed throttles "while the workload is running"; recording makes the
+/// comparison exact rather than distribution-identical.
+struct RecordedTxn {
+  SimTime arrival = 0.0;
+  engine::TxnSpec spec;
+
+  bool operator==(const RecordedTxn& other) const;
+};
+
+/// An immutable recorded workload.
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+  explicit WorkloadTrace(std::vector<RecordedTxn> txns);
+
+  const std::vector<RecordedTxn>& txns() const { return txns_; }
+  size_t size() const { return txns_.size(); }
+  bool empty() const { return txns_.empty(); }
+  SimTime DurationSeconds() const;
+
+  /// Binary serialization (for saving interesting traces).
+  std::vector<uint8_t> Serialize() const;
+  static Result<WorkloadTrace> Deserialize(const std::vector<uint8_t>& data);
+
+ private:
+  std::vector<RecordedTxn> txns_;
+};
+
+/// Pre-generates `seconds` of a YCSB workload into a trace: arrival
+/// times from the open-loop Poisson process and the exact op sequences.
+WorkloadTrace RecordWorkload(YcsbWorkload* workload, SimTime seconds);
+
+/// Drives a recorded trace against the cluster through the same
+/// MPL-bounded client semantics as ClientPool: arrivals fire at their
+/// recorded times, transactions queue when all clients are busy, and
+/// kUnavailable results retry after re-resolving (so migrations mid-
+/// replay behave exactly as with the live generator).
+class TraceReplayer {
+ public:
+  /// `trace` and `resolver` must outlive the replayer.
+  TraceReplayer(sim::Simulator* sim, const WorkloadTrace* trace,
+                TenantResolver* resolver, int mpl = 10,
+                ClientPool::LatencyObserver observer = nullptr);
+
+  /// Schedules every recorded arrival relative to the current time.
+  void Start();
+
+  bool Finished() const;
+  uint64_t completed() const { return completed_; }
+  uint64_t failed() const { return failed_; }
+  const PercentileTracker& latencies() const { return latencies_; }
+  const TimeSeries& latency_series() const { return latency_series_; }
+
+ private:
+  struct Pending {
+    engine::TxnSpec spec;
+    SimTime arrival = 0.0;
+    int attempts = 0;
+  };
+
+  void OnArrival(size_t index);
+  void Dispatch(Pending txn);
+  void OnDone(Pending txn, const engine::TxnResult& result);
+
+  static constexpr int kMaxAttempts = 8;
+
+  sim::Simulator* sim_;
+  const WorkloadTrace* trace_;
+  TenantResolver* resolver_;
+  int mpl_;
+  ClientPool::LatencyObserver observer_;
+
+  int busy_ = 0;
+  std::deque<Pending> queue_;
+  uint64_t dispatched_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  PercentileTracker latencies_;
+  TimeSeries latency_series_;
+};
+
+}  // namespace slacker::workload
+
+#endif  // SLACKER_WORKLOAD_REPLAY_H_

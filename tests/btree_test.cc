@@ -1,0 +1,232 @@
+// B+-tree tests: unit coverage plus randomized model checking against
+// std::map, with structural invariants validated after every phase.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/storage/btree.h"
+
+namespace slacker::storage {
+namespace {
+
+Record R(uint64_t key, Lsn lsn = 1, uint64_t digest = 0) {
+  return Record{key, lsn, digest ? digest : key * 31};
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Get(1), nullptr);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.MaxKey().ok());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTreeTest, PutAndGet) {
+  BTree tree;
+  EXPECT_TRUE(tree.Put(R(5)));
+  EXPECT_TRUE(tree.Put(R(3)));
+  EXPECT_TRUE(tree.Put(R(9)));
+  EXPECT_EQ(tree.size(), 3u);
+  ASSERT_NE(tree.Get(5), nullptr);
+  EXPECT_EQ(tree.Get(5)->key, 5u);
+  EXPECT_EQ(tree.Get(4), nullptr);
+}
+
+TEST(BTreeTest, PutOverwrites) {
+  BTree tree;
+  EXPECT_TRUE(tree.Put(R(5, 1, 100)));
+  EXPECT_FALSE(tree.Put(R(5, 2, 200)));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Get(5)->lsn, 2u);
+  EXPECT_EQ(tree.Get(5)->digest, 200u);
+}
+
+TEST(BTreeTest, EraseExistingAndMissing) {
+  BTree tree;
+  tree.Put(R(1));
+  tree.Put(R(2));
+  EXPECT_TRUE(tree.Erase(1));
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_FALSE(tree.Erase(99));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Get(1), nullptr);
+}
+
+TEST(BTreeTest, SequentialInsertSplitsAndStaysSorted) {
+  BTree tree;
+  const uint64_t n = 10000;
+  for (uint64_t k = 0; k < n; ++k) tree.Put(R(k));
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GT(tree.Height(), 1);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  uint64_t expect = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.record().key, expect++);
+  }
+  EXPECT_EQ(expect, n);
+}
+
+TEST(BTreeTest, ReverseInsertOrder) {
+  BTree tree;
+  for (uint64_t k = 5000; k-- > 0;) tree.Put(R(k));
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.Begin().record().key, 0u);
+  EXPECT_EQ(*tree.MaxKey(), 4999u);
+}
+
+TEST(BTreeTest, SeekSemantics) {
+  BTree tree;
+  for (uint64_t k = 0; k < 100; k += 10) tree.Put(R(k));
+  EXPECT_EQ(tree.Seek(0).record().key, 0u);
+  EXPECT_EQ(tree.Seek(5).record().key, 10u);   // Lower bound.
+  EXPECT_EQ(tree.Seek(10).record().key, 10u);  // Exact.
+  EXPECT_EQ(tree.Seek(90).record().key, 90u);
+  EXPECT_FALSE(tree.Seek(91).Valid());         // Past the end.
+}
+
+TEST(BTreeTest, SeekAcrossLeafBoundaries) {
+  BTree tree;
+  for (uint64_t k = 0; k < 1000; ++k) tree.Put(R(k * 2));
+  // Seek to odd keys: should land on the next even key, even at leaf
+  // boundaries.
+  for (uint64_t k = 1; k < 1998; k += 194) {  // Odd keys only.
+    auto it = tree.Seek(k);
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.record().key, k + 1);  // k odd -> next even is k+1.
+  }
+}
+
+TEST(BTreeTest, EraseAllDrainsToEmptyRoot) {
+  BTree tree;
+  const uint64_t n = 3000;
+  for (uint64_t k = 0; k < n; ++k) tree.Put(R(k));
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(tree.Erase(k)) << k;
+    if (k % 500 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << "after erasing " << k;
+    }
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTreeTest, EraseFromMiddleTriggersBorrowAndMerge) {
+  BTree tree;
+  for (uint64_t k = 0; k < 2000; ++k) tree.Put(R(k));
+  // Erase a dense band in the middle to force underflows on interior
+  // leaves and internal nodes.
+  for (uint64_t k = 500; k < 1500; ++k) ASSERT_TRUE(tree.Erase(k));
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_EQ(tree.Seek(500).record().key, 1500u);
+}
+
+TEST(BTreeTest, ClearResets) {
+  BTree tree;
+  for (uint64_t k = 0; k < 100; ++k) tree.Put(R(k));
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Get(50), nullptr);
+  tree.Put(R(7));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTreeTest, MoveTransfersContents) {
+  BTree a;
+  for (uint64_t k = 0; k < 200; ++k) a.Put(R(k));
+  BTree b = std::move(a);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented.
+  EXPECT_TRUE(b.Validate().ok());
+  a.Put(R(1));  // Moved-from tree is reusable.
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(BTreeTest, MaxKeyTracksMutations) {
+  BTree tree;
+  tree.Put(R(10));
+  tree.Put(R(20));
+  EXPECT_EQ(*tree.MaxKey(), 20u);
+  tree.Erase(20);
+  EXPECT_EQ(*tree.MaxKey(), 10u);
+}
+
+// ---- Randomized model checking against std::map --------------------
+
+struct ModelCheckParams {
+  uint64_t seed;
+  uint64_t key_space;
+  int operations;
+};
+
+class BTreeModelCheck : public ::testing::TestWithParam<ModelCheckParams> {};
+
+TEST_P(BTreeModelCheck, MatchesStdMap) {
+  const ModelCheckParams params = GetParam();
+  Rng rng(params.seed);
+  BTree tree;
+  std::map<uint64_t, Record> model;
+
+  for (int i = 0; i < params.operations; ++i) {
+    const uint64_t key = rng.NextBelow(params.key_space);
+    const double op = rng.NextDouble();
+    if (op < 0.5) {
+      const Record rec = R(key, i + 1, rng.Next());
+      tree.Put(rec);
+      model[key] = rec;
+    } else if (op < 0.8) {
+      const bool tree_erased = tree.Erase(key);
+      const bool model_erased = model.erase(key) > 0;
+      ASSERT_EQ(tree_erased, model_erased) << "key " << key << " op " << i;
+    } else {
+      const Record* got = tree.Get(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_EQ(got, nullptr) << "key " << key;
+      } else {
+        ASSERT_NE(got, nullptr) << "key " << key;
+        ASSERT_EQ(*got, it->second);
+      }
+    }
+    if (i % 2000 == 1999) {
+      ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+    }
+  }
+
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  ASSERT_EQ(tree.size(), model.size());
+  auto it = tree.Begin();
+  for (const auto& [key, rec] : model) {
+    ASSERT_TRUE(it.Valid());
+    ASSERT_EQ(it.record(), rec);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, BTreeModelCheck,
+    ::testing::Values(
+        // Dense key space: heavy overwrite/delete churn.
+        ModelCheckParams{1, 64, 20000},
+        ModelCheckParams{2, 512, 20000},
+        // Sparse: mostly inserts, deep trees.
+        ModelCheckParams{3, 1u << 20, 20000},
+        ModelCheckParams{4, 1u << 20, 20000},
+        // Tiny space: constant borrow/merge at the root.
+        ModelCheckParams{5, 8, 10000},
+        ModelCheckParams{6, 100000, 40000}),
+    [](const ::testing::TestParamInfo<ModelCheckParams>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_space" +
+             std::to_string(info.param.key_space);
+    });
+
+}  // namespace
+}  // namespace slacker::storage

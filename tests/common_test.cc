@@ -1,0 +1,417 @@
+// Unit tests for src/common: Status/Result, byte codecs, RNG and
+// distributions, streaming statistics, histograms, and checksums.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/checksum.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace slacker {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("tenant 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "tenant 7");
+  EXPECT_EQ(s.ToString(), "NotFound: tenant 7");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Aborted("x"), Status::Aborted("x"));
+  EXPECT_FALSE(Status::Aborted("x") == Status::Aborted("y"));
+  EXPECT_FALSE(Status::Aborted("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status FailsThrough() {
+  SLACKER_RETURN_IF_ERROR(Status::Aborted("inner"));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(FailsThrough(), Status::Aborted("inner"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ---------------------------------------------------------------- Bytes
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefULL);
+  w.PutDouble(3.5);
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetFixed32(&u32).ok());
+  ASSERT_TRUE(r.GetFixed64(&u64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  const uint64_t values[] = {0,    1,    127,        128,
+                             300,  1u << 14,  (1u << 14) - 1,
+                             UINT32_MAX, UINT64_MAX, UINT64_MAX - 1};
+  ByteWriter w;
+  for (uint64_t v : values) w.PutVarint64(v);
+  ByteReader r(w.data());
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(r.GetVarint64(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, VarintSingleByteForSmall) {
+  ByteWriter w;
+  w.PutVarint64(127);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("\0binary\xff", 8));
+  ByteReader r(w.data());
+  std::string a, b, c;
+  ASSERT_TRUE(r.GetString(&a).ok());
+  ASSERT_TRUE(r.GetString(&b).ok());
+  ASSERT_TRUE(r.GetString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(BytesTest, TruncatedInputsReturnCorruption) {
+  ByteWriter w;
+  w.PutFixed64(7);
+  // Drop the last byte.
+  std::vector<uint8_t> data = w.data();
+  data.pop_back();
+  ByteReader r(data);
+  uint64_t v;
+  EXPECT_EQ(r.GetFixed64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, OverlongVarintRejected) {
+  std::vector<uint8_t> data(11, 0x80);  // Never terminates within 64 bits.
+  ByteReader r(data);
+  uint64_t v;
+  EXPECT_EQ(r.GetVarint64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, StringLengthBeyondBufferRejected) {
+  ByteWriter w;
+  w.PutVarint64(1000);  // Claims 1000 bytes, provides none.
+  ByteReader r(w.data());
+  std::string s;
+  EXPECT_EQ(r.GetString(&s).code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------- Random
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Exponential(0.25));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.005);
+  // Exponential CV = 1.
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.15);
+  EXPECT_NEAR(hits / 100000.0, 0.15, 0.01);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(17);
+  RunningStats small, large;
+  for (int i = 0; i < 50000; ++i) {
+    small.Add(static_cast<double>(rng.Poisson(3.0)));
+    large.Add(static_cast<double>(rng.Poisson(200.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 200.0, 1.0);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(21);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfianTest, RankZeroIsMostPopular) {
+  Rng rng(23);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(&rng)];
+  // Head should dominate the tail.
+  EXPECT_GT(counts[0], counts[500] * 5);
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(ZipfianTest, ThetaControlsSkew) {
+  Rng rng(25);
+  ZipfianGenerator mild(1000, 0.5), hot(1000, 0.99);
+  int mild_head = 0, hot_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    mild_head += mild.Next(&rng) < 10;
+    hot_head += hot.Next(&rng) < 10;
+  }
+  EXPECT_GT(hot_head, mild_head);
+}
+
+TEST(ScrambleTest, FnvScrambleIsDeterministicAndSpreads) {
+  EXPECT_EQ(FnvScramble(42), FnvScramble(42));
+  EXPECT_NE(FnvScramble(1), FnvScramble(2));
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(31);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 100;
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+}
+
+TEST(SlidingWindowMeanTest, EvictsOldSamples) {
+  SlidingWindowMean w(3.0);
+  w.Add(0.0, 100.0);
+  w.Add(1.0, 200.0);
+  EXPECT_DOUBLE_EQ(w.MeanAt(1.0), 150.0);
+  // At t=3.5, the t=0 sample (age 3.5) is out; t=1 (age 2.5) remains.
+  EXPECT_DOUBLE_EQ(w.MeanAt(3.5), 200.0);
+  // At t=4.5 everything is out; fallback applies.
+  EXPECT_DOUBLE_EQ(w.MeanAt(4.5, 42.0), 42.0);
+}
+
+TEST(SlidingWindowMeanTest, CountTracksWindow) {
+  SlidingWindowMean w(2.0);
+  for (int i = 0; i < 10; ++i) w.Add(i * 0.5, 1.0);
+  EXPECT_EQ(w.CountAt(4.5), 4u);  // Samples at 3.0, 3.5, 4.0, 4.5.
+}
+
+TEST(PercentileTrackerTest, NearestRank) {
+  PercentileTracker p;
+  for (int i = 1; i <= 100; ++i) p.Add(i);
+  EXPECT_EQ(p.Percentile(50), 50.0);
+  EXPECT_EQ(p.Percentile(99), 99.0);
+  EXPECT_EQ(p.Percentile(100), 100.0);
+  EXPECT_EQ(p.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Mean(), 50.5);
+}
+
+TEST(PercentileTrackerTest, EmptyReturnsZero) {
+  PercentileTracker p;
+  EXPECT_EQ(p.Percentile(99), 0.0);
+  EXPECT_EQ(p.Mean(), 0.0);
+}
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, MeanAndCount) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(10.0);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(HistogramTest, PercentileApproximation) {
+  Histogram h;
+  Rng rng(37);
+  PercentileTracker exact;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.Exponential(100.0);
+    h.Add(v);
+    exact.Add(v);
+  }
+  // Log-bucketed percentiles should be within ~12% of exact.
+  for (double p : {50.0, 90.0, 99.0}) {
+    EXPECT_NEAR(h.Percentile(p), exact.Percentile(p),
+                exact.Percentile(p) * 0.12)
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MinMaxBracketsPercentiles) {
+  Histogram h;
+  h.Add(5.0);
+  h.Add(500.0);
+  EXPECT_EQ(h.Percentile(0), 5.0);
+  EXPECT_EQ(h.Percentile(100), 500.0);
+  EXPECT_LE(h.Percentile(50), 500.0);
+  EXPECT_GE(h.Percentile(50), 5.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 15.0);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {
+  Histogram h(1.0, 1000.0, 10);
+  h.Add(0.001);
+  h.Add(1e9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1e9);
+}
+
+// ---------------------------------------------------------------- Checksum
+
+TEST(ChecksumTest, Crc32cKnownVector) {
+  // "123456789" -> 0xE3069283 (CRC-32C check value).
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32c(reinterpret_cast<const uint8_t*>(data), 9), 0xE3069283u);
+}
+
+TEST(ChecksumTest, Crc32cDetectsBitFlip) {
+  std::vector<uint8_t> data(100, 0x55);
+  const uint32_t clean = Crc32c(data);
+  data[50] ^= 1;
+  EXPECT_NE(Crc32c(data), clean);
+}
+
+TEST(ChecksumTest, Fnv1aDistinctInputsDistinctHashes) {
+  const uint8_t a[] = {1, 2, 3};
+  const uint8_t b[] = {1, 2, 4};
+  EXPECT_NE(Fnv1a64(a, 3), Fnv1a64(b, 3));
+}
+
+TEST(ChecksumTest, HashCombineOrderSensitive) {
+  uint64_t d1 = HashCombine(HashCombine(0, 1), 2);
+  uint64_t d2 = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(d1, d2);
+}
+
+// ---------------------------------------------------------------- Units
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(MsFromSeconds(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(SecondsFromMs(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(BytesPerSecFromMBps(1.0), 1048576.0);
+  EXPECT_DOUBLE_EQ(MBpsFromBytesPerSec(BytesPerSecFromMBps(12.5)), 12.5);
+}
+
+}  // namespace
+}  // namespace slacker

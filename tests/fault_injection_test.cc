@@ -1,0 +1,186 @@
+// Chaos tests: lost and corrupted migration messages. The protocol has
+// no retransmission (in the real system TCP provides delivery), so a
+// lost control message stalls the migration — the watchdog must abort
+// it cleanly and a retry must succeed.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/units.h"
+#include "src/slacker/cluster.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker {
+namespace {
+
+engine::TenantConfig SmallTenant(uint64_t id = 1) {
+  engine::TenantConfig config;
+  config.tenant_id = id;
+  config.layout.record_count = 32 * 1024;
+  config.buffer_pool_bytes = 4 * kMiB;
+  return config;
+}
+
+MigrationOptions FastWithWatchdog() {
+  MigrationOptions options;
+  options.throttle = ThrottleKind::kFixed;
+  options.fixed_rate_mbps = 16.0;
+  options.prepare.base_seconds = 0.5;
+  options.timeout_seconds = 30.0;
+  return options;
+}
+
+struct Rig {
+  sim::Simulator sim;
+  Cluster cluster;
+  MigrationReport report;
+  bool done = false;
+
+  Rig() : cluster(&sim, ClusterOptions{}) {}
+
+  MigrationJob::DoneCallback Done() {
+    return [this](const MigrationReport& r) {
+      report = r;
+      done = true;
+    };
+  }
+};
+
+TEST(FaultInjectionTest, LostSnapshotAckTriggersWatchdogAbort) {
+  Rig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  // Drop every snapshot ack from target (1) back to source (0).
+  rig.cluster.ChannelBetween(1, 0)->SetDeliveryFilter(
+      [](net::Message* m) {
+        return m->type != net::MessageType::kSnapshotAck;
+      });
+  ASSERT_TRUE(
+      rig.cluster.StartMigration(1, 1, FastWithWatchdog(), rig.Done()).ok());
+  rig.sim.RunUntil(60.0);
+  ASSERT_TRUE(rig.done);
+  EXPECT_EQ(rig.report.status.code(), StatusCode::kAborted);
+  // Source intact and serving; no half-migrated staging left behind.
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 0u);
+  EXPECT_FALSE(rig.cluster.TenantOn(0, 1)->frozen());
+  EXPECT_EQ(rig.cluster.TenantOn(1, 1), nullptr);
+  EXPECT_GT(rig.cluster.ChannelBetween(1, 0)->messages_dropped(), 0u);
+}
+
+TEST(FaultInjectionTest, RetrySucceedsAfterFaultClears) {
+  Rig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  rig.cluster.ChannelBetween(1, 0)->SetDeliveryFilter(
+      [](net::Message* m) {
+        return m->type != net::MessageType::kMigrateAccept;
+      });
+  ASSERT_TRUE(
+      rig.cluster.StartMigration(1, 1, FastWithWatchdog(), rig.Done()).ok());
+  rig.sim.RunUntil(60.0);
+  ASSERT_TRUE(rig.done);
+  ASSERT_EQ(rig.report.status.code(), StatusCode::kAborted);
+
+  // Network heals; retry goes through.
+  rig.cluster.ChannelBetween(1, 0)->SetDeliveryFilter(nullptr);
+  rig.done = false;
+  ASSERT_TRUE(
+      rig.cluster.StartMigration(1, 1, FastWithWatchdog(), rig.Done()).ok());
+  rig.sim.RunUntil(160.0);
+  ASSERT_TRUE(rig.done);
+  EXPECT_TRUE(rig.report.status.ok()) << rig.report.status.ToString();
+  EXPECT_TRUE(rig.report.digest_match);
+}
+
+TEST(FaultInjectionTest, CorruptedFramesSurfaceAsChannelErrors) {
+  Rig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  int corrupted = 0, errors = 0;
+  Rng rng(5);
+  net::Channel* data_path = rig.cluster.ChannelBetween(0, 1);
+  data_path->SetFrameCorrupter([&](std::vector<uint8_t>* frame) {
+    // Flip a byte in ~20% of frames.
+    if (!frame->empty() && rng.Bernoulli(0.2)) {
+      (*frame)[rng.NextBelow(frame->size())] ^= 0x20;
+      ++corrupted;
+    }
+  });
+  data_path->OnError([&](const Status& s) {
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+    ++errors;
+  });
+  ASSERT_TRUE(
+      rig.cluster.StartMigration(1, 1, FastWithWatchdog(), rig.Done()).ok());
+  rig.sim.RunUntil(120.0);
+  // With 20% of the data path corrupted, the CRC must catch every
+  // flipped frame (errors == corrupted), and the run must terminate
+  // cleanly: either the watchdog aborted (a lost control message), or
+  // the migration completed — in which case any lost *chunks* are
+  // flagged by the handover digest check rather than passing silently.
+  ASSERT_TRUE(rig.done);
+  EXPECT_GT(corrupted, 0);
+  EXPECT_EQ(errors, corrupted);
+  if (!rig.report.status.ok()) {
+    EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 0u);
+  }
+}
+
+TEST(FaultInjectionTest, DroppedChunksCauseDigestMismatchDetection) {
+  // Silently losing snapshot chunks must not produce a silently wrong
+  // replica: the handover digest check catches it.
+  Rig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  int dropped = 0;
+  rig.cluster.ChannelBetween(0, 1)->SetDeliveryFilter(
+      [&](net::Message* m) {
+        if (m->type == net::MessageType::kSnapshotChunk &&
+            m->chunk_seq == 7) {
+          ++dropped;
+          return false;  // Lose exactly one chunk.
+        }
+        return true;
+      });
+  MigrationOptions options = FastWithWatchdog();
+  options.timeout_seconds = 0.0;  // Let it run to handover.
+  ASSERT_TRUE(rig.cluster.StartMigration(1, 1, options, rig.Done()).ok());
+  rig.sim.RunUntil(120.0);
+  ASSERT_TRUE(rig.done);
+  EXPECT_EQ(dropped, 1);
+  // The digest check flags the divergence and the handover is REFUSED:
+  // the source keeps authority and resumes service; the divergent
+  // staging replica is discarded.
+  EXPECT_FALSE(rig.report.digest_match);
+  EXPECT_EQ(rig.report.status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 0u);
+  EXPECT_FALSE(rig.cluster.TenantOn(0, 1)->frozen());
+  rig.sim.RunUntil(130.0);  // Session reap.
+  EXPECT_EQ(rig.cluster.TenantOn(1, 1), nullptr);
+}
+
+TEST(FaultInjectionTest, WorkloadUnharmedByChannelChaos) {
+  Rig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  workload::YcsbConfig ycsb;
+  ycsb.record_count = 32 * 1024;
+  ycsb.mean_interarrival = 0.4;
+  workload::YcsbWorkload workload(ycsb, 1, 13);
+  workload::ClientPool pool(&rig.sim, &workload, &rig.cluster,
+                            rig.cluster.MakeLatencyObserver());
+  rig.cluster.AttachClientPool(1, &pool);
+  pool.Start();
+  // Drop ALL migration traffic: the migration dies, the tenant's
+  // clients never notice.
+  rig.cluster.ChannelBetween(0, 1)->SetDeliveryFilter(
+      [](net::Message*) { return false; });
+  ASSERT_TRUE(
+      rig.cluster.StartMigration(1, 1, FastWithWatchdog(), rig.Done()).ok());
+  rig.sim.RunUntil(90.0);
+  pool.Stop();
+  rig.sim.RunUntil(100.0);
+  ASSERT_TRUE(rig.done);
+  EXPECT_EQ(rig.report.status.code(), StatusCode::kAborted);
+  EXPECT_EQ(pool.stats().failed, 0u);
+  EXPECT_GT(pool.stats().completed, 100u);
+}
+
+}  // namespace
+}  // namespace slacker

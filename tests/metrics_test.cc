@@ -1,0 +1,100 @@
+// Tests for the cluster metrics snapshots and the periodic collector.
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/slacker/cluster.h"
+#include "src/slacker/metrics.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  Cluster cluster;
+
+  Rig() : cluster(&sim, ClusterOptions{}) {
+    engine::TenantConfig tenant;
+    tenant.tenant_id = 1;
+    tenant.layout.record_count = 16 * 1024;
+    tenant.buffer_pool_bytes = 2 * kMiB;
+    cluster.AddTenant(0, tenant);
+  }
+};
+
+TEST(MetricsTest, SnapshotCoversServersAndTenants) {
+  Rig rig;
+  rig.sim.RunUntil(1.0);
+  const ClusterMetrics metrics = CollectMetrics(&rig.cluster);
+  ASSERT_EQ(metrics.servers.size(), 3u);
+  ASSERT_EQ(metrics.servers[0].tenants.size(), 1u);
+  const TenantMetrics& t = metrics.servers[0].tenants[0];
+  EXPECT_EQ(t.tenant_id, 1u);
+  EXPECT_EQ(t.rows, 16 * 1024u);
+  EXPECT_GT(t.data_bytes, 0u);
+  EXPECT_FALSE(t.frozen);
+  EXPECT_FALSE(t.migrating);
+  EXPECT_EQ(metrics.active_migrations, 0u);
+  EXPECT_TRUE(metrics.servers[1].tenants.empty());
+}
+
+TEST(MetricsTest, MigrationVisibleInSnapshot) {
+  Rig rig;
+  MigrationOptions options;
+  options.throttle = ThrottleKind::kFixed;
+  options.fixed_rate_mbps = 2.0;  // Slow, so we can observe it.
+  options.prepare.base_seconds = 0.5;
+  ASSERT_TRUE(rig.cluster.StartMigration(1, 1, options, nullptr).ok());
+  rig.sim.RunUntil(2.0);
+  const ClusterMetrics metrics = CollectMetrics(&rig.cluster);
+  EXPECT_EQ(metrics.active_migrations, 1u);
+  EXPECT_TRUE(metrics.servers[0].tenants[0].migrating);
+  // The staging instance on server 1 is frozen, not migrating.
+  ASSERT_EQ(metrics.servers[1].tenants.size(), 1u);
+  EXPECT_TRUE(metrics.servers[1].tenants[0].frozen);
+  const std::string dump = metrics.ToString();
+  EXPECT_NE(dump.find("[migrating]"), std::string::npos);
+  EXPECT_NE(dump.find("[frozen]"), std::string::npos);
+}
+
+TEST(MetricsTest, CollectorSamplesPeriodically) {
+  Rig rig;
+  int sink_calls = 0;
+  MetricsCollector collector(&rig.sim, &rig.cluster, 5.0,
+                             [&](const ClusterMetrics&) { ++sink_calls; },
+                             /*history=*/4);
+  collector.Start();
+  rig.sim.RunUntil(31.0);
+  collector.Stop();
+  EXPECT_EQ(sink_calls, 6);
+  EXPECT_EQ(collector.history().size(), 4u);  // Bounded.
+  EXPECT_DOUBLE_EQ(collector.Latest().time, 30.0);
+}
+
+TEST(MetricsTest, LatestCollectsOnDemandBeforeFirstSample) {
+  Rig rig;
+  MetricsCollector collector(&rig.sim, &rig.cluster, 60.0);
+  const ClusterMetrics metrics = collector.Latest();
+  EXPECT_EQ(metrics.servers.size(), 3u);
+}
+
+TEST(MetricsTest, WindowLatencyReflectsWorkload) {
+  Rig rig;
+  workload::YcsbConfig ycsb;
+  ycsb.record_count = 16 * 1024;
+  ycsb.mean_interarrival = 0.2;
+  workload::YcsbWorkload workload(ycsb, 1, 3);
+  workload::ClientPool pool(&rig.sim, &workload, &rig.cluster,
+                            rig.cluster.MakeLatencyObserver());
+  rig.cluster.AttachClientPool(1, &pool);
+  pool.Start();
+  rig.sim.RunUntil(20.0);
+  const ClusterMetrics metrics = CollectMetrics(&rig.cluster);
+  EXPECT_GT(metrics.servers[0].window_latency_ms, 0.0);
+  pool.Stop();
+}
+
+}  // namespace
+}  // namespace slacker

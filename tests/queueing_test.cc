@@ -1,0 +1,155 @@
+// Validation of the simulation substrate against queueing theory: the
+// disk is an M/M/1-like server under Poisson arrivals, so simulated
+// waiting times must match the analytic predictions. This anchors the
+// latency behaviour every experiment depends on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/resource/disk.h"
+#include "src/sim/simulator.h"
+
+namespace slacker {
+namespace {
+
+// M/D/1: Poisson arrivals, deterministic service S (our disk's service
+// time is deterministic for fixed-size requests). Expected wait in
+// queue: Wq = rho * S / (2 * (1 - rho)); response time R = Wq + S.
+class MD1Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(MD1Test, DiskResponseMatchesTheory) {
+  const double rho = GetParam();
+  sim::Simulator sim;
+  resource::DiskOptions disk_options;
+  disk_options.seek_time = 0.008;
+  disk_options.transfer_bytes_per_sec = 100.0 * kMiB;
+  resource::DiskModel disk(&sim, disk_options);
+
+  const double service = 0.008;  // Zero-byte random reads: seek only.
+  const double arrival_rate = rho / service;
+  Rng rng(1234);
+  RunningStats response;
+
+  // Generate Poisson arrivals for a long horizon.
+  std::function<void()> arrival = [&] {
+    const double arrived = sim.Now();
+    disk.Submit(resource::IoKind::kRandomRead, 0,
+                [&response, &sim, arrived] {
+                  response.Add(sim.Now() - arrived);
+                });
+    sim.After(rng.Exponential(1.0 / arrival_rate), arrival);
+  };
+  sim.After(rng.Exponential(1.0 / arrival_rate), arrival);
+  sim.RunUntil(4000.0);
+
+  const double wq = rho * service / (2.0 * (1.0 - rho));
+  const double expected = wq + service;
+  EXPECT_GT(response.count(), 1000u);
+  EXPECT_NEAR(response.mean(), expected, expected * 0.08)
+      << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, MD1Test,
+                         ::testing::Values(0.2, 0.5, 0.7, 0.85),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "rho" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 100));
+                         });
+
+TEST(OverloadTest, QueueGrowsWithoutBoundPastSaturation) {
+  // rho > 1: response time of successive requests grows linearly —
+  // the Figure 6 signature.
+  sim::Simulator sim;
+  resource::DiskOptions disk_options;
+  disk_options.seek_time = 0.01;
+  resource::DiskModel disk(&sim, disk_options);
+  Rng rng(99);
+  const double arrival_rate = 1.3 / 0.01;  // rho = 1.3.
+  RunningStats early, late;
+  int count = 0;
+  std::function<void()> arrival = [&] {
+    const double arrived = sim.Now();
+    const int idx = count++;
+    disk.Submit(resource::IoKind::kRandomRead, 0, [&, arrived, idx] {
+      const double response = sim.Now() - arrived;
+      if (idx < 500) {
+        early.Add(response);
+      } else if (idx >= 4500) {
+        late.Add(response);
+      }
+    });
+    if (count < 5000) sim.After(rng.Exponential(1.0 / arrival_rate), arrival);
+  };
+  sim.After(0.0, arrival);
+  sim.RunUntil(10000.0);
+  EXPECT_GT(late.mean(), early.mean() * 4);
+}
+
+// Mean foreground (random-read) response time with an optional bulk
+// sequential stream of `bulk_mbps` sharing the disk.
+double ForegroundResponseMean(double bulk_mbps) {
+  sim::Simulator sim;
+  resource::DiskOptions disk_options;  // 7.5 ms seek, 90 MB/s.
+  resource::DiskModel disk(&sim, disk_options);
+  Rng rng(5);
+  RunningStats response;
+
+  std::function<void()> foreground = [&] {
+    const double arrived = sim.Now();
+    disk.Submit(resource::IoKind::kRandomRead, 16 * kKiB,
+                [&response, &sim, arrived] {
+                  response.Add(sim.Now() - arrived);
+                });
+    sim.After(rng.Exponential(0.05), foreground);
+  };
+  sim.After(0.0, foreground);
+
+  std::function<void()> bulk;
+  if (bulk_mbps > 0.0) {
+    bulk = [&] {
+      disk.Submit(resource::IoKind::kSequentialRead, kMiB, nullptr, 777);
+      sim.After(1.0 / bulk_mbps, bulk);
+    };
+    sim.After(0.0, bulk);
+  }
+  sim.RunUntil(300.0);
+  return response.mean();
+}
+
+TEST(InterferenceTest, BulkStreamInflatesForegroundLatency) {
+  // A throttled-style sequential stream sharing the disk raises random
+  // read response times — the mechanism of migration interference —
+  // and faster streams inflate them more (the Figure 5 progression).
+  const double baseline = ForegroundResponseMean(0.0);
+  const double with_16 = ForegroundResponseMean(16.0);
+  const double with_28 = ForegroundResponseMean(28.0);
+  EXPECT_GT(with_16, baseline * 1.2);
+  EXPECT_GT(with_28, with_16);
+}
+
+TEST(PoissonProcessTest, ArrivalCountsArePoisson) {
+  // Counting arrivals in unit intervals: mean ≈ variance ≈ rate.
+  sim::Simulator sim;
+  Rng rng(7);
+  const double rate = 20.0;
+  std::vector<int> counts(200, 0);
+  std::function<void()> arrival = [&] {
+    const auto bucket = static_cast<size_t>(sim.Now());
+    if (bucket < counts.size()) ++counts[bucket];
+    sim.After(rng.Exponential(1.0 / rate), arrival);
+  };
+  sim.After(rng.Exponential(1.0 / rate), arrival);
+  sim.RunUntil(static_cast<double>(counts.size()));
+  RunningStats stats;
+  for (int c : counts) stats.Add(c);
+  EXPECT_NEAR(stats.mean(), rate, 1.0);
+  EXPECT_NEAR(stats.variance(), rate, rate * 0.35);
+}
+
+}  // namespace
+}  // namespace slacker

@@ -1,0 +1,205 @@
+// Unit tests for the discrete-event simulator: event ordering,
+// cancellation, deterministic tie-breaking, and periodic timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace slacker::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.RunNext();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceIsNoop) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredEventIsNoop) {
+  EventQueue q;
+  EventId id = q.Schedule(1.0, [] {});
+  q.RunNext();
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(1.0, [] {});
+  q.Schedule(2.0, [] {});
+  q.Cancel(early);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1.0, [&] {
+    ++fired;
+    q.Schedule(2.0, [&] { ++fired; });
+  });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  double seen = -1;
+  sim.After(2.5, [&] { seen = sim.Now(); });
+  sim.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(1.0, [&] { ++fired; });
+  sim.After(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(3.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.RunUntil(10.0), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventExactlyAtHorizonRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.After(3.0, [&] { ran = true; });
+  sim.RunUntil(3.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.After(1.0, [] {});
+  sim.RunUntil(1.0);
+  bool ran = false;
+  sim.After(-5.0, [&] { ran = true; });
+  sim.RunUntil(1.0);
+  EXPECT_TRUE(ran);
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+}
+
+TEST(SimulatorTest, NestedSchedulingKeepsOrder) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.After(1.0, [&] {
+    times.push_back(sim.Now());
+    sim.After(1.0, [&] { times.push_back(sim.Now()); });
+    sim.After(0.5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunAll();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_DOUBLE_EQ(times[2], 2.0);
+}
+
+TEST(SimulatorTest, RunAllHonorsEventCap) {
+  Simulator sim;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { sim.After(1.0, loop); };
+  sim.After(1.0, loop);
+  EXPECT_EQ(sim.RunAll(100), 100u);
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<double> fires;
+  PeriodicTimer timer(&sim, 1.0, [&](SimTime t) { fires.push_back(t); });
+  timer.Start();
+  sim.RunUntil(5.5);
+  ASSERT_EQ(fires.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(fires[i], i + 1.0);
+}
+
+TEST(PeriodicTimerTest, StopHaltsFiring) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(&sim, 1.0, [&](SimTime) { ++fires; });
+  timer.Start();
+  sim.RunUntil(3.5);
+  timer.Stop();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, StopFromCallbackIsSafe) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer* handle = nullptr;
+  PeriodicTimer timer(&sim, 1.0, [&](SimTime) {
+    if (++fires == 2) handle->Stop();
+  });
+  handle = &timer;
+  timer.Start();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimerTest, RestartAfterStop) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(&sim, 1.0, [&](SimTime) { ++fires; });
+  timer.Start();
+  sim.RunUntil(2.5);
+  timer.Stop();
+  timer.Start();
+  sim.RunUntil(4.0);
+  EXPECT_EQ(fires, 3);  // t=1, 2, then restarted at 2.5 -> fires 3.5.
+}
+
+TEST(PeriodicTimerTest, DestructionCancelsPending) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(&sim, 1.0, [&](SimTime) { ++fires; });
+    timer.Start();
+    sim.RunUntil(1.5);
+  }
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fires, 1);
+}
+
+}  // namespace
+}  // namespace slacker::sim

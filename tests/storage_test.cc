@@ -1,0 +1,182 @@
+// Tests for buffer pool LRU behaviour, tablespace geometry, record
+// digests, and the data-directory inventory.
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/storage/buffer_pool.h"
+#include "src/storage/data_directory.h"
+#include "src/storage/record.h"
+#include "src/storage/tablespace.h"
+
+namespace slacker::storage {
+namespace {
+
+// ---------------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, MissThenHit) {
+  BufferPool pool(BufferPoolOptions{4});
+  EXPECT_FALSE(pool.Touch(1, false).hit);
+  EXPECT_TRUE(pool.Touch(1, false).hit);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_DOUBLE_EQ(pool.HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(BufferPoolOptions{3});
+  pool.Touch(1, false);
+  pool.Touch(2, false);
+  pool.Touch(3, false);
+  pool.Touch(1, false);  // 1 is now MRU; LRU order: 2, 3, 1.
+  pool.Touch(4, false);  // Evicts 2.
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_TRUE(pool.Contains(3));
+  EXPECT_TRUE(pool.Contains(4));
+}
+
+TEST(BufferPoolTest, DirtyEvictionReportsWriteback) {
+  BufferPool pool(BufferPoolOptions{2});
+  pool.Touch(1, true);  // Dirty.
+  pool.Touch(2, false);
+  const PageAccess access = pool.Touch(3, false);  // Evicts dirty page 1.
+  EXPECT_TRUE(access.evicted_dirty);
+  EXPECT_EQ(access.evicted_page, 1u);
+  EXPECT_EQ(pool.dirty_pages(), 0u);
+}
+
+TEST(BufferPoolTest, CleanEvictionNoWriteback) {
+  BufferPool pool(BufferPoolOptions{2});
+  pool.Touch(1, false);
+  pool.Touch(2, false);
+  EXPECT_FALSE(pool.Touch(3, false).evicted_dirty);
+}
+
+TEST(BufferPoolTest, RedirtyingResidentPage) {
+  BufferPool pool(BufferPoolOptions{4});
+  pool.Touch(1, false);
+  EXPECT_FALSE(pool.IsDirty(1));
+  pool.Touch(1, true);
+  EXPECT_TRUE(pool.IsDirty(1));
+  EXPECT_EQ(pool.dirty_pages(), 1u);
+  pool.Touch(1, true);  // Already dirty; count must not double.
+  EXPECT_EQ(pool.dirty_pages(), 1u);
+}
+
+TEST(BufferPoolTest, FlushAllCleansEverything) {
+  BufferPool pool(BufferPoolOptions{8});
+  for (uint64_t p = 0; p < 5; ++p) pool.Touch(p, true);
+  EXPECT_EQ(pool.FlushAll(), 5u);
+  EXPECT_EQ(pool.dirty_pages(), 0u);
+  EXPECT_EQ(pool.resident_pages(), 5u);  // Still cached, just clean.
+}
+
+TEST(BufferPoolTest, CapacityNeverExceeded) {
+  BufferPool pool(BufferPoolOptions{16});
+  for (uint64_t p = 0; p < 1000; ++p) pool.Touch(p, p % 3 == 0);
+  EXPECT_LE(pool.resident_pages(), 16u);
+}
+
+TEST(BufferPoolTest, SteadyStateHitRateMatchesResidentFraction) {
+  // Uniform access over N pages with capacity C: hit rate ≈ C/N. This
+  // is the mechanism behind the paper's 128 MB buffer / 1 GB tenant
+  // disk pressure.
+  const size_t capacity = 128, pages = 1024;
+  BufferPool pool(BufferPoolOptions{capacity});
+  uint64_t state = 88172645463325252ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 20000; ++i) pool.Touch(next() % pages, false);
+  pool.ResetStats();
+  for (int i = 0; i < 200000; ++i) pool.Touch(next() % pages, false);
+  EXPECT_NEAR(pool.HitRate(), static_cast<double>(capacity) / pages, 0.01);
+}
+
+TEST(BufferPoolTest, ClearEmptiesPool) {
+  BufferPool pool(BufferPoolOptions{4});
+  pool.Touch(1, true);
+  pool.Clear();
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  EXPECT_EQ(pool.dirty_pages(), 0u);
+  EXPECT_FALSE(pool.Contains(1));
+}
+
+// ---------------------------------------------------------------- Tablespace
+
+TEST(TablespaceTest, DefaultGeometryIsOneGiB) {
+  TablespaceLayout layout;
+  EXPECT_EQ(layout.RecordsPerPage(), 16u);
+  EXPECT_EQ(layout.record_count, kGiB / kKiB);
+  EXPECT_EQ(layout.DataBytes(), kGiB);
+}
+
+TEST(TablespaceTest, PageOfMapsDenseKeys) {
+  TablespaceLayout layout;
+  EXPECT_EQ(layout.PageOf(0), 0u);
+  EXPECT_EQ(layout.PageOf(15), 0u);
+  EXPECT_EQ(layout.PageOf(16), 1u);
+  EXPECT_EQ(layout.PageOf(31), 1u);
+}
+
+TEST(TablespaceTest, PagesForRoundsUp) {
+  TablespaceLayout layout;
+  EXPECT_EQ(layout.PagesFor(0), 0u);
+  EXPECT_EQ(layout.PagesFor(1), 1u);
+  EXPECT_EQ(layout.PagesFor(16), 1u);
+  EXPECT_EQ(layout.PagesFor(17), 2u);
+}
+
+TEST(TablespaceTest, CustomGeometry) {
+  TablespaceLayout layout;
+  layout.page_bytes = 4 * kKiB;
+  layout.record_bytes = 512;
+  layout.record_count = 1000;
+  EXPECT_EQ(layout.RecordsPerPage(), 8u);
+  EXPECT_EQ(layout.TotalPages(), 125u);
+  EXPECT_EQ(layout.DataBytes(), 125u * 4 * kKiB);
+}
+
+// ---------------------------------------------------------------- Record
+
+TEST(RecordTest, RowDigestDependsOnAllInputs) {
+  const uint64_t base = RowDigest(1, 2, 3);
+  EXPECT_EQ(base, RowDigest(1, 2, 3));
+  EXPECT_NE(base, RowDigest(2, 2, 3));
+  EXPECT_NE(base, RowDigest(1, 3, 3));
+  EXPECT_NE(base, RowDigest(1, 2, 4));
+}
+
+TEST(RecordTest, MaterializePayloadDeterministic) {
+  Record r{42, 7, RowDigest(42, 7, 1)};
+  const auto a = MaterializePayload(r, kKiB);
+  const auto b = MaterializePayload(r, kKiB);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), kKiB);
+  Record other{42, 8, RowDigest(42, 8, 1)};
+  EXPECT_NE(MaterializePayload(other, kKiB), a);
+}
+
+// ---------------------------------------------------------------- DataDirectory
+
+TEST(DataDirectoryTest, TenantInventory) {
+  DataDirectory dir = DataDirectory::ForTenant(5, kGiB, 12345);
+  EXPECT_EQ(dir.files().size(), 3u);
+  EXPECT_EQ(dir.TotalBytes(), kGiB + 12345 + 4096);
+  EXPECT_NE(dir.path().find("tenant_5"), std::string::npos);
+}
+
+TEST(DataDirectoryTest, SetFileSizeUpdatesOrAdds) {
+  DataDirectory dir = DataDirectory::ForTenant(1, 100, 10);
+  dir.SetFileSize("ibdata1", 200);
+  EXPECT_EQ(dir.TotalBytes(), 200u + 10 + 4096);
+  dir.SetFileSize("binlog.000002", 50);
+  EXPECT_EQ(dir.files().size(), 4u);
+}
+
+}  // namespace
+}  // namespace slacker::storage

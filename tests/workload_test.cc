@@ -1,0 +1,361 @@
+// Tests for the transactional-YCSB workload: op mix, key choosers, the
+// open-loop Poisson generator, MPL queueing in the client pool, retry
+// semantics, and time-series reductions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/units.h"
+#include "src/engine/tenant_db.h"
+#include "src/resource/cpu.h"
+#include "src/resource/disk.h"
+#include "src/sim/simulator.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/key_chooser.h"
+#include "src/workload/trace.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker::workload {
+namespace {
+
+engine::TenantConfig SmallConfig(uint64_t id = 1) {
+  engine::TenantConfig config;
+  config.tenant_id = id;
+  config.layout.record_count = 1024;
+  config.buffer_pool_bytes = 64 * 16 * kKiB;
+  return config;
+}
+
+YcsbConfig SmallYcsb() {
+  YcsbConfig config;
+  config.record_count = 1024;
+  config.mean_interarrival = 0.05;
+  return config;
+}
+
+// ---------------------------------------------------------------- Config
+
+TEST(YcsbConfigTest, DefaultsValid) {
+  EXPECT_TRUE(YcsbConfig().Validate().ok());
+}
+
+TEST(YcsbConfigTest, RejectsBadMixAndParams) {
+  YcsbConfig config;
+  config.mix.read = 0.5;  // Sums to 0.65.
+  EXPECT_FALSE(config.Validate().ok());
+  config = YcsbConfig();
+  config.ops_per_txn = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = YcsbConfig();
+  config.mean_interarrival = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = YcsbConfig();
+  config.mpl = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+// ---------------------------------------------------------------- Chooser
+
+TEST(KeyChooserTest, UniformCoversRange) {
+  auto chooser = KeyChooser::Create(KeyDistribution::kUniform, 100);
+  Rng rng(1);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[chooser->Next(&rng)];
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_LT(k, 100u);
+    EXPECT_NEAR(c, 1000, 200);
+  }
+}
+
+TEST(KeyChooserTest, ZipfianSkewsAndScrambles) {
+  auto chooser = KeyChooser::Create(KeyDistribution::kZipfian, 1000, 0.99);
+  Rng rng(2);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[chooser->Next(&rng)];
+  int max_count = 0;
+  uint64_t hottest = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      hottest = k;
+    }
+  }
+  // Hot key dominates but is NOT key 0 (scrambled).
+  EXPECT_GT(max_count, 100000 / 1000 * 10);
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(KeyChooserTest, LatestPrefersNewKeys) {
+  auto chooser = KeyChooser::Create(KeyDistribution::kLatest, 1000, 0.99);
+  Rng rng(3);
+  int high_half = 0;
+  for (int i = 0; i < 10000; ++i) high_half += chooser->Next(&rng) >= 500;
+  EXPECT_GT(high_half, 8000);
+  chooser->SetKeyCount(2000);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(chooser->Next(&rng), 2000u);
+}
+
+// ---------------------------------------------------------------- Workload
+
+TEST(YcsbWorkloadTest, OpMixMatchesConfiguration) {
+  YcsbConfig config = SmallYcsb();
+  YcsbWorkload workload(config, 1, 42);
+  int reads = 0, updates = 0, total = 0;
+  for (int t = 0; t < 2000; ++t) {
+    const auto spec = workload.NextTxn();
+    EXPECT_EQ(spec.ops.size(), 10u);
+    for (const auto& op : spec.ops) {
+      reads += op.type == engine::OpType::kRead;
+      updates += op.type == engine::OpType::kUpdate;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / total, 0.85, 0.02);
+  EXPECT_NEAR(static_cast<double>(updates) / total, 0.15, 0.02);
+}
+
+TEST(YcsbWorkloadTest, TxnIdsMonotone) {
+  YcsbWorkload workload(SmallYcsb(), 1, 42);
+  uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto spec = workload.NextTxn();
+    EXPECT_GT(spec.txn_id, prev);
+    prev = spec.txn_id;
+    EXPECT_EQ(spec.tenant_id, 1u);
+  }
+}
+
+TEST(YcsbWorkloadTest, DeterministicForSeed) {
+  YcsbWorkload a(SmallYcsb(), 1, 7), b(SmallYcsb(), 1, 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto sa = a.NextTxn(), sb = b.NextTxn();
+    ASSERT_EQ(sa.ops.size(), sb.ops.size());
+    for (size_t j = 0; j < sa.ops.size(); ++j) {
+      EXPECT_EQ(sa.ops[j].key, sb.ops[j].key);
+      EXPECT_EQ(sa.ops[j].type, sb.ops[j].type);
+    }
+    EXPECT_DOUBLE_EQ(a.NextInterarrival(), b.NextInterarrival());
+  }
+}
+
+TEST(YcsbWorkloadTest, PoissonInterarrivalsHaveConfiguredMean) {
+  YcsbWorkload workload(SmallYcsb(), 1, 11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(workload.NextInterarrival());
+  EXPECT_NEAR(stats.mean(), 0.05, 0.002);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 1.0, 0.05);  // CV of exp = 1.
+}
+
+TEST(YcsbWorkloadTest, ScaleArrivalRateShortensInterarrivals) {
+  YcsbWorkload workload(SmallYcsb(), 1, 13);
+  workload.ScaleArrivalRate(1.4);  // +40%, the Fig. 13a step.
+  EXPECT_NEAR(workload.mean_interarrival(), 0.05 / 1.4, 1e-12);
+}
+
+// ---------------------------------------------------------------- TimeSeries
+
+TEST(TimeSeriesTest, SmoothedWindowAverages) {
+  TimeSeries series;
+  for (int t = 0; t < 10; ++t) series.Add(t, t * 10.0);
+  const auto smoothed = series.Smoothed(1.0, 3.0);
+  ASSERT_FALSE(smoothed.empty());
+  // At t=9 the closed window [6,9] holds 60,70,80,90.
+  EXPECT_DOUBLE_EQ(smoothed.back().value, 75.0);
+}
+
+TEST(TimeSeriesTest, SmoothedRepeatsOnEmptyWindows) {
+  TimeSeries series;
+  series.Add(0.0, 100.0);
+  series.Add(10.0, 200.0);
+  const auto smoothed = series.Smoothed(1.0, 1.0, 0.0, 10.0);
+  ASSERT_EQ(smoothed.size(), 11u);
+  EXPECT_DOUBLE_EQ(smoothed[5].value, 100.0);  // Gap holds the last value.
+  EXPECT_DOUBLE_EQ(smoothed[10].value, 200.0);
+}
+
+TEST(TimeSeriesTest, StatsBetweenBounds) {
+  TimeSeries series;
+  for (int t = 0; t < 100; ++t) series.Add(t, t);
+  const auto stats = series.StatsBetween(10, 19);
+  EXPECT_EQ(stats.count(), 10u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 14.5);
+  EXPECT_DOUBLE_EQ(series.PercentileBetween(0, 99, 50), 49);
+}
+
+TEST(TimeSeriesTest, CsvFormat) {
+  TimeSeries series;
+  series.Add(1.5, 2.5);
+  const std::string csv = series.ToCsv("latency_ms");
+  EXPECT_EQ(csv, "t,latency_ms\n1.5,2.5\n");
+}
+
+// ---------------------------------------------------------------- ClientPool
+
+struct PoolRig : public TenantResolver {
+  sim::Simulator sim;
+  resource::DiskModel disk{&sim, resource::DiskOptions{}};
+  resource::CpuModel cpu{&sim, resource::CpuOptions{}};
+  engine::TenantDb db;
+
+  explicit PoolRig(engine::TenantConfig config = SmallConfig())
+      : db(&sim, &disk, &cpu, config) {
+    db.Load();
+  }
+  engine::TenantDb* Resolve(uint64_t) override { return &db; }
+};
+
+TEST(ClientPoolTest, OpenLoopCompletesTransactions) {
+  PoolRig rig;
+  YcsbWorkload workload(SmallYcsb(), 1, 5);
+  ClientPool pool(&rig.sim, &workload, &rig);
+  pool.Start();
+  rig.sim.RunUntil(30.0);
+  pool.Stop();
+  rig.sim.RunUntil(40.0);
+  // ~30s / 0.05s = ~600 arrivals.
+  EXPECT_GT(pool.stats().completed, 400u);
+  EXPECT_EQ(pool.stats().failed, 0u);
+  EXPECT_EQ(pool.stats().completed, pool.latencies().count());
+  EXPECT_GT(pool.latencies().Mean(), 0.0);
+}
+
+TEST(ClientPoolTest, ArrivalRateMatchesPoisson) {
+  PoolRig rig;
+  YcsbConfig config = SmallYcsb();
+  config.mean_interarrival = 0.02;  // 50/s.
+  YcsbWorkload workload(config, 1, 5);
+  ClientPool pool(&rig.sim, &workload, &rig);
+  pool.Start();
+  rig.sim.RunUntil(100.0);
+  pool.Stop();
+  EXPECT_NEAR(pool.stats().arrivals / 100.0, 50.0, 3.0);
+}
+
+TEST(ClientPoolTest, MplBoundsConcurrency) {
+  PoolRig rig;
+  YcsbConfig config = SmallYcsb();
+  config.mean_interarrival = 0.001;  // Overload: 1000 txn/s.
+  config.mpl = 10;
+  YcsbWorkload workload(config, 1, 5);
+  ClientPool pool(&rig.sim, &workload, &rig);
+  pool.Start();
+  bool saw_queue = false;
+  for (int i = 0; i < 100; ++i) {
+    rig.sim.RunUntil(rig.sim.Now() + 0.05);
+    EXPECT_LE(pool.busy_clients(), 10);
+    saw_queue = saw_queue || pool.queue_depth() > 0;
+  }
+  pool.Stop();
+  EXPECT_TRUE(saw_queue);
+  EXPECT_GT(pool.stats().max_queue_depth, 0u);
+}
+
+TEST(ClientPoolTest, LatencyIncludesQueueingUnderOverload) {
+  // Small buffer pool (8 of 64 pages) so ops are disk-bound: the
+  // server sustains ~140 ops/s, below the heavy run's demand.
+  engine::TenantConfig disk_bound = SmallConfig();
+  disk_bound.buffer_pool_bytes = 8 * 16 * kKiB;
+  YcsbConfig fast = SmallYcsb(), slow = SmallYcsb();
+  fast.mean_interarrival = 0.2;    // 50 ops/s: under capacity.
+  slow.mean_interarrival = 0.005;  // 2000 ops/s: far beyond capacity.
+
+  PoolRig light_rig(disk_bound);
+  YcsbWorkload light_workload(fast, 1, 5);
+  ClientPool light(&light_rig.sim, &light_workload, &light_rig);
+  light.Start();
+  light_rig.sim.RunUntil(30.0);
+  light.Stop();
+
+  PoolRig heavy_rig(disk_bound);
+  YcsbWorkload heavy_workload(slow, 1, 5);
+  ClientPool heavy(&heavy_rig.sim, &heavy_workload, &heavy_rig);
+  heavy.Start();
+  heavy_rig.sim.RunUntil(30.0);
+  heavy.Stop();
+
+  // Under overload the client queue grows, so latency is dominated by
+  // queueing and far exceeds the light run's.
+  EXPECT_GT(heavy.latencies().Percentile(95),
+            light.latencies().Percentile(95) * 3);
+  EXPECT_GT(heavy.stats().max_queue_depth, 100u);
+}
+
+TEST(ClientPoolTest, OldestOutstandingAge) {
+  PoolRig rig;
+  YcsbWorkload workload(SmallYcsb(), 1, 5);
+  ClientPool pool(&rig.sim, &workload, &rig);
+  EXPECT_DOUBLE_EQ(pool.OldestOutstandingAgeMs(rig.sim.Now()), 0.0);
+  // Freeze the db so transactions pile up.
+  rig.db.Freeze(nullptr);
+  pool.Start();
+  rig.sim.RunUntil(5.0);
+  EXPECT_GT(pool.OldestOutstandingAgeMs(rig.sim.Now()), 1000.0);
+  rig.db.Unfreeze();
+  rig.sim.RunUntil(20.0);
+  pool.Stop();
+}
+
+TEST(ClientPoolTest, RetriesOnUnavailableAndSucceeds) {
+  PoolRig rig;
+  YcsbConfig config = SmallYcsb();
+  config.mean_interarrival = 0.1;
+  YcsbWorkload workload(config, 1, 5);
+  ClientPool pool(&rig.sim, &workload, &rig);
+  pool.Start();
+  rig.sim.RunUntil(5.0);
+  // Freeze, fail everything queued, unfreeze: clients must retry and
+  // ultimately succeed (resolver still returns the same db).
+  rig.db.Freeze(nullptr);
+  rig.sim.RunUntil(7.0);
+  rig.db.FailQueued();
+  rig.db.Unfreeze();
+  rig.sim.RunUntil(20.0);
+  pool.Stop();
+  rig.sim.RunUntil(30.0);
+  EXPECT_GT(pool.stats().retries, 0u);
+  EXPECT_EQ(pool.stats().failed, 0u);
+}
+
+TEST(ClientPoolTest, ClosedLoopKeepsMplBusy) {
+  PoolRig rig;
+  YcsbConfig config = SmallYcsb();
+  config.open_loop = false;
+  config.mpl = 5;
+  config.think_time = 0.0;
+  YcsbWorkload workload(config, 1, 5);
+  ClientPool pool(&rig.sim, &workload, &rig);
+  pool.Start();
+  rig.sim.RunUntil(1.0);
+  EXPECT_EQ(pool.busy_clients(), 5);
+  pool.Stop();
+  rig.sim.RunUntil(10.0);
+  EXPECT_GT(pool.stats().completed, 0u);
+}
+
+TEST(ClientPoolTest, AckedWritesTrackNewestLsn) {
+  PoolRig rig;
+  YcsbConfig config = SmallYcsb();
+  config.mix.read = 0.0;
+  config.mix.update = 1.0;
+  config.record_count = 8;  // Few keys: lots of overwrite.
+  YcsbWorkload workload(config, 1, 5);
+  ClientPool pool(&rig.sim, &workload, &rig);
+  pool.Start();
+  rig.sim.RunUntil(10.0);
+  pool.Stop();
+  rig.sim.RunUntil(20.0);
+  ASSERT_FALSE(pool.acked_writes().empty());
+  for (const auto& [key, acked] : pool.acked_writes()) {
+    const storage::Record* row = rig.db.table().Get(key);
+    ASSERT_NE(row, nullptr);
+    EXPECT_GE(row->lsn, acked.lsn);
+    if (row->lsn == acked.lsn) {
+      EXPECT_EQ(row->digest, acked.digest);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slacker::workload
