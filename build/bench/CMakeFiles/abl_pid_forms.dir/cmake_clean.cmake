@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pid_forms.dir/abl_pid_forms.cc.o"
+  "CMakeFiles/abl_pid_forms.dir/abl_pid_forms.cc.o.d"
+  "abl_pid_forms"
+  "abl_pid_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pid_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_pid_forms.
+# This may be replaced when dependencies are built.

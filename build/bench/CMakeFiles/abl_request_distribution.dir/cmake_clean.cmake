@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_request_distribution.dir/abl_request_distribution.cc.o"
+  "CMakeFiles/abl_request_distribution.dir/abl_request_distribution.cc.o.d"
+  "abl_request_distribution"
+  "abl_request_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_request_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_source_target.dir/ext_source_target.cc.o"
+  "CMakeFiles/ext_source_target.dir/ext_source_target.cc.o.d"
+  "ext_source_target"
+  "ext_source_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_source_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_fixed_throttle_series.dir/fig05_fixed_throttle_series.cc.o"
+  "CMakeFiles/fig05_fixed_throttle_series.dir/fig05_fixed_throttle_series.cc.o.d"
+  "fig05_fixed_throttle_series"
+  "fig05_fixed_throttle_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fixed_throttle_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_fixed_throttle_series.
+# This may be replaced when dependencies are built.

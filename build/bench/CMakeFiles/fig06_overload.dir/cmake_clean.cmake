@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_overload.dir/fig06_overload.cc.o"
+  "CMakeFiles/fig06_overload.dir/fig06_overload.cc.o.d"
+  "fig06_overload"
+  "fig06_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_slack_tradeoff.dir/fig07_slack_tradeoff.cc.o"
+  "CMakeFiles/fig07_slack_tradeoff.dir/fig07_slack_tradeoff.cc.o.d"
+  "fig07_slack_tradeoff"
+  "fig07_slack_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_slack_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

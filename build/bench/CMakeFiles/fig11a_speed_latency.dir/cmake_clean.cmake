@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_speed_latency.dir/fig11a_speed_latency.cc.o"
+  "CMakeFiles/fig11a_speed_latency.dir/fig11a_speed_latency.cc.o.d"
+  "fig11a_speed_latency"
+  "fig11a_speed_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_speed_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

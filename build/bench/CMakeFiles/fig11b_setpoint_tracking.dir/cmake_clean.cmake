@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_setpoint_tracking.dir/fig11b_setpoint_tracking.cc.o"
+  "CMakeFiles/fig11b_setpoint_tracking.dir/fig11b_setpoint_tracking.cc.o.d"
+  "fig11b_setpoint_tracking"
+  "fig11b_setpoint_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_setpoint_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

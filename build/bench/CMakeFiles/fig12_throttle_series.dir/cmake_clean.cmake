@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throttle_series.dir/fig12_throttle_series.cc.o"
+  "CMakeFiles/fig12_throttle_series.dir/fig12_throttle_series.cc.o.d"
+  "fig12_throttle_series"
+  "fig12_throttle_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throttle_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

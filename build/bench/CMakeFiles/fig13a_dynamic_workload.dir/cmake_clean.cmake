@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_dynamic_workload.dir/fig13a_dynamic_workload.cc.o"
+  "CMakeFiles/fig13a_dynamic_workload.dir/fig13a_dynamic_workload.cc.o.d"
+  "fig13a_dynamic_workload"
+  "fig13a_dynamic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_dynamic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

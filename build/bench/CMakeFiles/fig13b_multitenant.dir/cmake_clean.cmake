@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_multitenant.dir/fig13b_multitenant.cc.o"
+  "CMakeFiles/fig13b_multitenant.dir/fig13b_multitenant.cc.o.d"
+  "fig13b_multitenant"
+  "fig13b_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

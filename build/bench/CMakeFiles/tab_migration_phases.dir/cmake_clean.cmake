@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_migration_phases.dir/tab_migration_phases.cc.o"
+  "CMakeFiles/tab_migration_phases.dir/tab_migration_phases.cc.o.d"
+  "tab_migration_phases"
+  "tab_migration_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_migration_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_stop_and_copy.dir/tab_stop_and_copy.cc.o"
+  "CMakeFiles/tab_stop_and_copy.dir/tab_stop_and_copy.cc.o.d"
+  "tab_stop_and_copy"
+  "tab_stop_and_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_stop_and_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

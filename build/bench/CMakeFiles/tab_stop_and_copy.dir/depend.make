@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_stop_and_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_relief.dir/hotspot_relief.cpp.o"
+  "CMakeFiles/hotspot_relief.dir/hotspot_relief.cpp.o.d"
+  "hotspot_relief"
+  "hotspot_relief.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_relief.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setpoint_explorer.dir/setpoint_explorer.cpp.o"
+  "CMakeFiles/setpoint_explorer.dir/setpoint_explorer.cpp.o.d"
+  "setpoint_explorer"
+  "setpoint_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setpoint_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slacker_lab.dir/slacker_lab.cpp.o"
+  "CMakeFiles/slacker_lab.dir/slacker_lab.cpp.o.d"
+  "slacker_lab"
+  "slacker_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slacker_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backup/delta_shipper.cc" "src/CMakeFiles/slacker.dir/backup/delta_shipper.cc.o" "gcc" "src/CMakeFiles/slacker.dir/backup/delta_shipper.cc.o.d"
+  "/root/repo/src/backup/hot_backup.cc" "src/CMakeFiles/slacker.dir/backup/hot_backup.cc.o" "gcc" "src/CMakeFiles/slacker.dir/backup/hot_backup.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/slacker.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/slacker.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/checksum.cc" "src/CMakeFiles/slacker.dir/common/checksum.cc.o" "gcc" "src/CMakeFiles/slacker.dir/common/checksum.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/slacker.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/slacker.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/slacker.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/slacker.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/slacker.dir/common/random.cc.o" "gcc" "src/CMakeFiles/slacker.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/slacker.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/slacker.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/slacker.dir/common/status.cc.o" "gcc" "src/CMakeFiles/slacker.dir/common/status.cc.o.d"
+  "/root/repo/src/control/adaptive_pid.cc" "src/CMakeFiles/slacker.dir/control/adaptive_pid.cc.o" "gcc" "src/CMakeFiles/slacker.dir/control/adaptive_pid.cc.o.d"
+  "/root/repo/src/control/latency_monitor.cc" "src/CMakeFiles/slacker.dir/control/latency_monitor.cc.o" "gcc" "src/CMakeFiles/slacker.dir/control/latency_monitor.cc.o.d"
+  "/root/repo/src/control/pid.cc" "src/CMakeFiles/slacker.dir/control/pid.cc.o" "gcc" "src/CMakeFiles/slacker.dir/control/pid.cc.o.d"
+  "/root/repo/src/control/ziegler_nichols.cc" "src/CMakeFiles/slacker.dir/control/ziegler_nichols.cc.o" "gcc" "src/CMakeFiles/slacker.dir/control/ziegler_nichols.cc.o.d"
+  "/root/repo/src/engine/checkpoint.cc" "src/CMakeFiles/slacker.dir/engine/checkpoint.cc.o" "gcc" "src/CMakeFiles/slacker.dir/engine/checkpoint.cc.o.d"
+  "/root/repo/src/engine/tenant_db.cc" "src/CMakeFiles/slacker.dir/engine/tenant_db.cc.o" "gcc" "src/CMakeFiles/slacker.dir/engine/tenant_db.cc.o.d"
+  "/root/repo/src/engine/transaction.cc" "src/CMakeFiles/slacker.dir/engine/transaction.cc.o" "gcc" "src/CMakeFiles/slacker.dir/engine/transaction.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/slacker.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/slacker.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/slacker.dir/net/message.cc.o" "gcc" "src/CMakeFiles/slacker.dir/net/message.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/CMakeFiles/slacker.dir/net/wire.cc.o" "gcc" "src/CMakeFiles/slacker.dir/net/wire.cc.o.d"
+  "/root/repo/src/resource/cpu.cc" "src/CMakeFiles/slacker.dir/resource/cpu.cc.o" "gcc" "src/CMakeFiles/slacker.dir/resource/cpu.cc.o.d"
+  "/root/repo/src/resource/disk.cc" "src/CMakeFiles/slacker.dir/resource/disk.cc.o" "gcc" "src/CMakeFiles/slacker.dir/resource/disk.cc.o.d"
+  "/root/repo/src/resource/network_link.cc" "src/CMakeFiles/slacker.dir/resource/network_link.cc.o" "gcc" "src/CMakeFiles/slacker.dir/resource/network_link.cc.o.d"
+  "/root/repo/src/resource/token_bucket.cc" "src/CMakeFiles/slacker.dir/resource/token_bucket.cc.o" "gcc" "src/CMakeFiles/slacker.dir/resource/token_bucket.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/slacker.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/slacker.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/slacker.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/slacker.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sla/sla.cc" "src/CMakeFiles/slacker.dir/sla/sla.cc.o" "gcc" "src/CMakeFiles/slacker.dir/sla/sla.cc.o.d"
+  "/root/repo/src/slacker/cluster.cc" "src/CMakeFiles/slacker.dir/slacker/cluster.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/cluster.cc.o.d"
+  "/root/repo/src/slacker/metrics.cc" "src/CMakeFiles/slacker.dir/slacker/metrics.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/metrics.cc.o.d"
+  "/root/repo/src/slacker/migration.cc" "src/CMakeFiles/slacker.dir/slacker/migration.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/migration.cc.o.d"
+  "/root/repo/src/slacker/migration_controller.cc" "src/CMakeFiles/slacker.dir/slacker/migration_controller.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/migration_controller.cc.o.d"
+  "/root/repo/src/slacker/options.cc" "src/CMakeFiles/slacker.dir/slacker/options.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/options.cc.o.d"
+  "/root/repo/src/slacker/placement.cc" "src/CMakeFiles/slacker.dir/slacker/placement.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/placement.cc.o.d"
+  "/root/repo/src/slacker/stop_and_copy.cc" "src/CMakeFiles/slacker.dir/slacker/stop_and_copy.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/stop_and_copy.cc.o.d"
+  "/root/repo/src/slacker/tenant_directory.cc" "src/CMakeFiles/slacker.dir/slacker/tenant_directory.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/tenant_directory.cc.o.d"
+  "/root/repo/src/slacker/tenant_manager.cc" "src/CMakeFiles/slacker.dir/slacker/tenant_manager.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/tenant_manager.cc.o.d"
+  "/root/repo/src/slacker/throttle_policy.cc" "src/CMakeFiles/slacker.dir/slacker/throttle_policy.cc.o" "gcc" "src/CMakeFiles/slacker.dir/slacker/throttle_policy.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/slacker.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/slacker.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/slacker.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/slacker.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/data_directory.cc" "src/CMakeFiles/slacker.dir/storage/data_directory.cc.o" "gcc" "src/CMakeFiles/slacker.dir/storage/data_directory.cc.o.d"
+  "/root/repo/src/storage/record.cc" "src/CMakeFiles/slacker.dir/storage/record.cc.o" "gcc" "src/CMakeFiles/slacker.dir/storage/record.cc.o.d"
+  "/root/repo/src/storage/tablespace.cc" "src/CMakeFiles/slacker.dir/storage/tablespace.cc.o" "gcc" "src/CMakeFiles/slacker.dir/storage/tablespace.cc.o.d"
+  "/root/repo/src/wal/binlog.cc" "src/CMakeFiles/slacker.dir/wal/binlog.cc.o" "gcc" "src/CMakeFiles/slacker.dir/wal/binlog.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/slacker.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/slacker.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/CMakeFiles/slacker.dir/wal/recovery.cc.o" "gcc" "src/CMakeFiles/slacker.dir/wal/recovery.cc.o.d"
+  "/root/repo/src/workload/client_pool.cc" "src/CMakeFiles/slacker.dir/workload/client_pool.cc.o" "gcc" "src/CMakeFiles/slacker.dir/workload/client_pool.cc.o.d"
+  "/root/repo/src/workload/key_chooser.cc" "src/CMakeFiles/slacker.dir/workload/key_chooser.cc.o" "gcc" "src/CMakeFiles/slacker.dir/workload/key_chooser.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/CMakeFiles/slacker.dir/workload/patterns.cc.o" "gcc" "src/CMakeFiles/slacker.dir/workload/patterns.cc.o.d"
+  "/root/repo/src/workload/replay.cc" "src/CMakeFiles/slacker.dir/workload/replay.cc.o" "gcc" "src/CMakeFiles/slacker.dir/workload/replay.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/slacker.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/slacker.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/slacker.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/slacker.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_control_test.dir/adaptive_control_test.cc.o"
+  "CMakeFiles/adaptive_control_test.dir/adaptive_control_test.cc.o.d"
+  "adaptive_control_test"
+  "adaptive_control_test.pdb"
+  "adaptive_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_process_test.dir/shared_process_test.cc.o"
+  "CMakeFiles/shared_process_test.dir/shared_process_test.cc.o.d"
+  "shared_process_test"
+  "shared_process_test.pdb"
+  "shared_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

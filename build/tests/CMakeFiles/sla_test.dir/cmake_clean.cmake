@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_test.dir/sla_test.cc.o"
+  "CMakeFiles/sla_test.dir/sla_test.cc.o.d"
+  "sla_test"
+  "sla_test.pdb"
+  "sla_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

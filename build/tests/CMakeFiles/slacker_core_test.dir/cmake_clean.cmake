@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slacker_core_test.dir/slacker_core_test.cc.o"
+  "CMakeFiles/slacker_core_test.dir/slacker_core_test.cc.o.d"
+  "slacker_core_test"
+  "slacker_core_test.pdb"
+  "slacker_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slacker_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

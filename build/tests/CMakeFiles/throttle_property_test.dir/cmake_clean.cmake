@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throttle_property_test.dir/throttle_property_test.cc.o"
+  "CMakeFiles/throttle_property_test.dir/throttle_property_test.cc.o.d"
+  "throttle_property_test"
+  "throttle_property_test.pdb"
+  "throttle_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throttle_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
