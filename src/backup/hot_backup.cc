@@ -1,27 +1,40 @@
 #include "src/backup/hot_backup.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "src/common/checksum.h"
 
 namespace slacker::backup {
 
 HotBackupStream::HotBackupStream(engine::TenantDb* source,
-                                 HotBackupOptions options)
+                                 HotBackupOptions options, uint64_t start_key)
     : source_(source),
       options_(options),
       start_lsn_(source->last_lsn()),
+      next_key_(start_key),
       estimated_rows_(source->table().size()) {
   const uint64_t record_bytes = source->config().layout.record_bytes;
   rows_per_chunk_ = std::max<uint64_t>(1, options_.chunk_bytes / record_bytes);
-  done_ = source_->table().empty();
+  done_ = !source_->table().Seek(start_key).Valid();
 }
 
 uint64_t HotBackupStream::EstimatedTotalChunks() const {
   return (estimated_rows_ + rows_per_chunk_ - 1) / rows_per_chunk_;
 }
 
+void HotBackupStream::RewindTo(uint64_t seq) {
+  if (seq >= next_seq_) return;
+  next_key_ = chunk_start_keys_[seq];
+  next_seq_ = seq;
+  chunk_start_keys_.resize(seq);
+  done_ = !source_->table().Seek(next_key_).Valid();
+}
+
 HotBackupStream::Chunk HotBackupStream::NextChunk() {
   Chunk chunk;
   chunk.seq = next_seq_++;
+  chunk_start_keys_.push_back(next_key_);
   chunk.rows.reserve(rows_per_chunk_);
   // Resume the scan at the cursor key: robust against rows inserted or
   // deleted behind the cursor while the backup runs.
@@ -41,6 +54,18 @@ HotBackupStream::Chunk HotBackupStream::NextChunk() {
       source_->config().layout.record_bytes;
   bytes_produced_ += chunk.logical_bytes;
   return chunk;
+}
+
+uint32_t ChunkCrc(const std::vector<storage::Record>& rows) {
+  uint32_t crc = 0;
+  uint8_t buf[24];
+  for (const storage::Record& r : rows) {
+    std::memcpy(buf, &r.key, 8);
+    std::memcpy(buf + 8, &r.lsn, 8);
+    std::memcpy(buf + 16, &r.digest, 8);
+    crc = Crc32c(buf, sizeof(buf), crc);
+  }
+  return crc;
 }
 
 SimTime PrepareCost(uint64_t redo_bytes, const PrepareOptions& options) {

@@ -33,7 +33,11 @@ class HotBackupStream {
   };
 
   /// `source` must outlive the stream. Captures start_lsn now.
-  HotBackupStream(engine::TenantDb* source, HotBackupOptions options);
+  /// `start_key` skips rows below it — a resumed migration continues
+  /// from the first key the target has not durably staged (chunk
+  /// boundaries are cursor-driven, so resumption is by key, not seq).
+  HotBackupStream(engine::TenantDb* source, HotBackupOptions options,
+                  uint64_t start_key = 0);
 
   /// Binlog position when the backup began; delta replay starts at
   /// start_lsn + 1.
@@ -45,10 +49,17 @@ class HotBackupStream {
   Chunk NextChunk();
 
   uint64_t chunks_produced() const { return next_seq_; }
+  uint64_t next_seq() const { return next_seq_; }
   uint64_t bytes_produced() const { return bytes_produced_; }
   /// Total chunks this stream will produce, estimated from the table
   /// size at start (concurrent inserts/deletes may shift it slightly).
   uint64_t EstimatedTotalChunks() const;
+
+  /// Rewinds the cursor so the next NextChunk() re-produces chunk `seq`
+  /// (go-back-N retransmission after a target NACK). Requires
+  /// seq < next_seq(). Rows mutated since the first transmission ship
+  /// in their newer version — harmless, delta replay is LSN-ordered.
+  void RewindTo(uint64_t seq);
 
  private:
   engine::TenantDb* source_;
@@ -60,7 +71,14 @@ class HotBackupStream {
   uint64_t bytes_produced_ = 0;
   uint64_t estimated_rows_;
   bool done_ = false;
+  /// chunk_start_keys_[seq] = cursor position when chunk seq was cut,
+  /// so a NACKed chunk can be re-read from the same key.
+  std::vector<uint64_t> chunk_start_keys_;
 };
+
+/// CRC-32C over a chunk's packed (key, lsn, digest) triples — the
+/// end-to-end integrity check the target uses to NACK corrupt chunks.
+uint32_t ChunkCrc(const std::vector<storage::Record>& rows);
 
 struct PrepareOptions {
   /// Fixed cost of readying the copied tablespace (file fixups, buffer

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kTargetOverloaded:
+      return "TargetOverloaded";
   }
   return "Unknown";
 }

@@ -21,6 +21,10 @@ enum class StatusCode {
   kUnavailable,
   kCorruption,
   kInternal,
+  /// The migration target is too loaded to absorb the stream without
+  /// violating its SLA; retryable after backing off (graceful
+  /// degradation instead of grinding at the throttle floor).
+  kTargetOverloaded,
 };
 
 /// Returns a stable human-readable name for `code` ("Ok", "NotFound", ...).
@@ -60,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TargetOverloaded(std::string msg) {
+    return Status(StatusCode::kTargetOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -52,14 +52,26 @@ void TenantDb::ExecuteOp(const Operation& op, OpCallback done) {
   StartOp(op, std::move(done));
 }
 
+uint64_t TenantDb::RegisterOp(OpCallback done) {
+  const uint64_t token = next_op_token_++;
+  pending_done_[token] = std::move(done);
+  return token;
+}
+
 void TenantDb::StartOp(const Operation& op, OpCallback done) {
   if (op.type == OpType::kScan) {
-    StartScan(op, std::move(done));
+    ++in_flight_;
+    StartScan(op, RegisterOp(std::move(done)));
     return;
   }
   ++in_flight_;
-  // Stage 1: CPU (parse/plan/execute).
-  cpu_->Submit(config_.cpu_per_op, [this, op, done = std::move(done)]() mutable {
+  const uint64_t token = RegisterOp(std::move(done));
+  // Stage 1: CPU (parse/plan/execute). Continuations are guarded by
+  // alive_: a server crash destroys the instance while its work is
+  // still queued on the shared disk/CPU.
+  cpu_->Submit(config_.cpu_per_op,
+               [this, op, token, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
     // Stage 2: page access through the buffer pool.
     const bool is_write = op.type != OpType::kRead;
     const uint64_t page = PoolPageId(config_.layout.PageOf(op.key));
@@ -71,20 +83,19 @@ void TenantDb::StartOp(const Operation& op, OpCallback done) {
                     nullptr, config_.tenant_id);
     }
     if (access.hit) {
-      FinishOp(op, std::move(done));
+      FinishOp(op, token);
       return;
     }
     // Stage 3: synchronous page read on miss.
     disk_->Submit(resource::IoKind::kRandomRead, config_.layout.page_bytes,
-                  [this, op, done = std::move(done)]() mutable {
-                    FinishOp(op, std::move(done));
+                  [this, op, token, alive] {
+                    if (!alive.expired()) FinishOp(op, token);
                   },
                   config_.tenant_id);
   });
 }
 
-void TenantDb::StartScan(const Operation& op, OpCallback done) {
-  ++in_flight_;
+void TenantDb::StartScan(const Operation& op, uint64_t token) {
   const uint64_t length = std::max<uint64_t>(op.scan_length, 1);
   const uint64_t first_page = config_.layout.PageOf(op.key);
   const uint64_t last_key = op.key + length - 1;
@@ -97,14 +108,16 @@ void TenantDb::StartScan(const Operation& op, OpCallback done) {
   // a buffer-pool touch and, on a miss, a sequential read (consecutive
   // pages of one scan keep the head position via the tenant stream id).
   cpu_->Submit(config_.cpu_per_op,
-               [this, first_page, last_page, op, done = std::move(done)]()
-                   mutable {
-                 ScanNextPage(first_page, last_page, op, std::move(done));
+               [this, first_page, last_page, op, token,
+                alive = std::weak_ptr<bool>(alive_)] {
+                 if (!alive.expired()) {
+                   ScanNextPage(first_page, last_page, op, token);
+                 }
                });
 }
 
 void TenantDb::ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
-                            OpCallback done) {
+                            uint64_t token) {
   if (page > last_page) {
     // Functional read of the range (counts rows; values are digests).
     uint64_t seen = 0;
@@ -113,10 +126,7 @@ void TenantDb::ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
          it.Next()) {
       ++seen;
     }
-    ++ops_executed_;
-    --in_flight_;
-    MaybeNotifyDrained();
-    if (done) done(Status::Ok(), WrittenRow{});
+    FinishOp(op, token);
     return;
   }
   const storage::PageAccess access =
@@ -126,24 +136,31 @@ void TenantDb::ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
                   nullptr, config_.tenant_id);
   }
   if (access.hit) {
-    ScanNextPage(page + 1, last_page, op, std::move(done));
+    ScanNextPage(page + 1, last_page, op, token);
     return;
   }
   disk_->Submit(resource::IoKind::kSequentialRead, config_.layout.page_bytes,
-                [this, page, last_page, op, done = std::move(done)]() mutable {
-                  ScanNextPage(page + 1, last_page, op, std::move(done));
+                [this, page, last_page, op, token,
+                 alive = std::weak_ptr<bool>(alive_)] {
+                  if (!alive.expired()) {
+                    ScanNextPage(page + 1, last_page, op, token);
+                  }
                 },
                 config_.tenant_id);
 }
 
-void TenantDb::FinishOp(const Operation& op, OpCallback done) {
+void TenantDb::FinishOp(const Operation& op, uint64_t token) {
+  auto it = pending_done_.find(token);
+  if (it == pending_done_.end()) return;  // Claimed by FailInFlight.
+  OpCallback done = std::move(it->second);
+  pending_done_.erase(it);
   WrittenRow written;
   Status status = Status::Ok();
   if (op.type == OpType::kRead) {
     // Point lookup; absent keys are a successful empty read (YCSB keys
     // are drawn from the loaded range, but deletes can create misses).
     (void)table_.Get(op.key);
-  } else {
+  } else if (op.type != OpType::kScan) {
     written = ApplyWrite(op);
   }
   ++ops_executed_;
@@ -247,20 +264,68 @@ void TenantDb::FailQueued() {
   }
 }
 
+void TenantDb::FailInFlight(const Status& status) {
+  auto pending = std::move(pending_done_);
+  pending_done_.clear();
+  in_flight_ = 0;
+  for (auto& [token, done] : pending) {
+    if (!done) continue;
+    // Defer: callers expect completion callbacks to arrive from the
+    // event loop, never from inside the call that failed them.
+    sim_->After(0.0, [done = std::move(done), status] {
+      done(status, WrittenRow{});
+    });
+  }
+  auto queued = std::move(frozen_queue_);
+  frozen_queue_.clear();
+  for (auto& p : queued) {
+    if (!p.done) continue;
+    sim_->After(0.0, [done = std::move(p.done), status] {
+      done(status, WrittenRow{});
+    });
+  }
+  MaybeNotifyDrained();
+}
+
 void TenantDb::ChargeSequentialRead(uint64_t bytes, uint64_t stream_id,
                                     std::function<void()> done) {
-  disk_->Submit(resource::IoKind::kSequentialRead, bytes, std::move(done),
-                stream_id);
+  // The completion is dropped if this instance dies first (crash or
+  // delete) — the disk time was still spent, as on real hardware.
+  disk_->Submit(
+      resource::IoKind::kSequentialRead, bytes,
+      done == nullptr
+          ? std::function<void()>(nullptr)
+          : [done = std::move(done), alive = std::weak_ptr<bool>(alive_)] {
+              if (!alive.expired()) done();
+            },
+      stream_id);
 }
 
 void TenantDb::ChargeSequentialWrite(uint64_t bytes, uint64_t stream_id,
                                      std::function<void()> done) {
-  disk_->Submit(resource::IoKind::kSequentialWrite, bytes, std::move(done),
-                stream_id);
+  disk_->Submit(
+      resource::IoKind::kSequentialWrite, bytes,
+      done == nullptr
+          ? std::function<void()>(nullptr)
+          : [done = std::move(done), alive = std::weak_ptr<bool>(alive_)] {
+              if (!alive.expired()) done();
+            },
+      stream_id);
 }
 
 void TenantDb::ChargeCpu(SimTime service, std::function<void()> done) {
-  cpu_->Submit(service, std::move(done));
+  cpu_->Submit(
+      service,
+      done == nullptr
+          ? std::function<void()>(nullptr)
+          : [done = std::move(done), alive = std::weak_ptr<bool>(alive_)] {
+              if (!alive.expired()) done();
+            });
+}
+
+void TenantDb::RestoreBinlog(wal::Binlog log) {
+  binlog_ = std::move(log);
+  SyncCursorsAfterIngest(binlog_.last_lsn());
 }
 
 void TenantDb::WarmBufferPool() {

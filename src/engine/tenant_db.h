@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/status.h"
@@ -69,6 +70,8 @@ class TenantDb {
   TenantDb(const TenantDb&) = delete;
   TenantDb& operator=(const TenantDb&) = delete;
 
+  ~TenantDb() { *alive_ = false; }
+
   /// Pre-populates layout.record_count rows (LSN 0) and marks the
   /// buffer pool cold. Instantaneous in simulated time (the paper
   /// pre-populates before measuring, too).
@@ -96,6 +99,12 @@ class TenantDb {
   /// used after handover when this replica stops being authoritative
   /// (clients re-resolve and retry at the target).
   void FailQueued();
+  /// Crash semantics: fails every *in-flight* operation (those already
+  /// inside the CPU/disk pipeline) and everything queued behind a
+  /// freeze with `status`. Late resource completions for those ops
+  /// become no-ops. Call before destroying the instance on a simulated
+  /// server crash so client callbacks fire instead of leaking.
+  void FailInFlight(const Status& status);
   bool frozen() const { return frozen_; }
 
   /// Direct (non-simulated) access for backup/replication machinery.
@@ -118,6 +127,11 @@ class TenantDb {
 
   const TenantConfig& config() const { return config_; }
   storage::Lsn last_lsn() const { return binlog_.last_lsn(); }
+
+  /// Installs the durable binlog a restarted server salvaged from disk,
+  /// and fast-forwards the LSN/insert cursors past it. The table must
+  /// already reflect the recovered state (checkpoint load + replay).
+  void RestoreBinlog(wal::Binlog log);
 
   /// Fast-forwards the LSN and insert-key cursors after this instance
   /// ingests migrated state, so post-handover writes continue the
@@ -153,10 +167,13 @@ class TenantDb {
   };
 
   void StartOp(const Operation& op, OpCallback done);
-  void StartScan(const Operation& op, OpCallback done);
+  void StartScan(const Operation& op, uint64_t token);
   void ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
-                    OpCallback done);
-  void FinishOp(const Operation& op, OpCallback done);
+                    uint64_t token);
+  void FinishOp(const Operation& op, uint64_t token);
+  /// Registers an in-flight op's callback; FinishOp/FailInFlight claim
+  /// it exactly once by token.
+  uint64_t RegisterOp(OpCallback done);
   WrittenRow ApplyWrite(const Operation& op);
   void MaybeNotifyDrained();
   /// Pool-namespace id for this tenant's `page` (distinct across
@@ -183,6 +200,14 @@ class TenantDb {
   int in_flight_ = 0;
   std::vector<std::function<void()>> drain_waiters_;
   uint64_t ops_executed_ = 0;
+
+  uint64_t next_op_token_ = 1;
+  std::map<uint64_t, OpCallback> pending_done_;
+  /// Expires when the instance is destroyed (server crash / tenant
+  /// delete); continuations routed through the shared disk/CPU check it
+  /// before touching `this`, so a crash can destroy the db while its
+  /// I/O is still queued.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace slacker::engine

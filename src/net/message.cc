@@ -14,6 +14,9 @@ std::vector<uint8_t> EncodeMessage(const Message& message) {
   writer.PutVarint64(message.chunk_seq);
   writer.PutVarint64(message.payload_bytes);
   writer.PutFixed64(message.digest);
+  writer.PutFixed32(message.chunk_crc);
+  writer.PutU8(message.resume ? 1 : 0);
+  writer.PutVarint64(message.resume_key);
   writer.PutString(message.error);
   writer.PutVarint64(message.config.page_bytes);
   writer.PutVarint64(message.config.record_bytes);
@@ -41,7 +44,7 @@ Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out) {
   ByteReader reader(payload);
   uint8_t type;
   SLACKER_RETURN_IF_ERROR(reader.GetU8(&type));
-  if (type < 1 || type > 12) return Status::Corruption("bad message type");
+  if (type < 1 || type > 14) return Status::Corruption("bad message type");
   out->type = static_cast<MessageType>(type);
   SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->tenant_id));
   SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->target_server));
@@ -49,6 +52,11 @@ Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out) {
   SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->chunk_seq));
   SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->payload_bytes));
   SLACKER_RETURN_IF_ERROR(reader.GetFixed64(&out->digest));
+  SLACKER_RETURN_IF_ERROR(reader.GetFixed32(&out->chunk_crc));
+  uint8_t resume;
+  SLACKER_RETURN_IF_ERROR(reader.GetU8(&resume));
+  out->resume = resume != 0;
+  SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->resume_key));
   SLACKER_RETURN_IF_ERROR(reader.GetString(&out->error));
   SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->config.page_bytes));
   SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->config.record_bytes));

@@ -26,6 +26,8 @@ enum class MessageType : uint8_t {
   kHandoverAck = 10,     // Target applied the final delta (its digest).
   kHandoverCommit = 11,  // Digests matched; target becomes authoritative.
   kMigrateAbort = 12,
+  kSnapshotResume = 13,  // Target has durably staged chunks; resume offer.
+  kSnapshotNack = 14,    // Target saw a gap/corrupt chunk; retransmit.
 };
 
 /// Tenant parameters shipped in kMigrateRequest so the target can
@@ -58,6 +60,17 @@ struct Message {
   uint64_t payload_bytes = 0;
   /// kHandoverRequest/kHandoverAck: state digest for convergence check.
   uint64_t digest = 0;
+  /// kSnapshotChunk: CRC-32C over the chunk's packed rows, so the
+  /// target can tell a corrupt-but-decodable chunk from a good one and
+  /// NACK it for retransmission.
+  uint32_t chunk_crc = 0;
+  /// kMigrateRequest: the source is willing to resume from durably
+  /// staged chunks of an earlier, interrupted attempt.
+  bool resume = false;
+  /// kSnapshotResume: first key the source still needs to stream
+  /// (everything below it is staged at the target). kSnapshotBegin
+  /// echoes it when the source accepts the resume.
+  uint64_t resume_key = 0;
   /// kMigrateAbort: error text.
   std::string error;
   /// kMigrateRequest only.

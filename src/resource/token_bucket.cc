@@ -12,6 +12,10 @@ TokenBucket::TokenBucket(sim::Simulator* sim, TokenBucketOptions options)
       tokens_(0.0),
       last_refill_(sim->Now()) {}
 
+TokenBucket::~TokenBucket() {
+  if (wakeup_ != 0) sim_->Cancel(wakeup_);
+}
+
 void TokenBucket::Refill() {
   const SimTime now = sim_->Now();
   const SimTime elapsed = now - last_refill_;

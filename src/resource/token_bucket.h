@@ -30,6 +30,9 @@ struct TokenBucketOptions {
 class TokenBucket {
  public:
   TokenBucket(sim::Simulator* sim, TokenBucketOptions options);
+  /// Cancels the pending refill wakeup: a bucket may die mid-stream
+  /// (its owning migration job crashes with the server).
+  ~TokenBucket();
 
   TokenBucket(const TokenBucket&) = delete;
   TokenBucket& operator=(const TokenBucket&) = delete;

@@ -4,8 +4,18 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/engine/checkpoint.h"
+#include "src/wal/recovery.h"
 
 namespace slacker {
+namespace {
+
+/// Disk stream for crash-recovery reads and checkpoint writes —
+/// sequential bulk I/O distinct from tenant traffic and migration
+/// streams.
+constexpr uint64_t kRecoveryStreamId = UINT64_MAX - 3;
+
+}  // namespace
 
 Server::Server(sim::Simulator* sim, uint64_t id, const ClusterOptions& options,
                MigrationContext* ctx)
@@ -21,6 +31,17 @@ Server::Server(sim::Simulator* sim, uint64_t id, const ClusterOptions& options,
       monitor_(options.monitor_window),
       controller_(std::make_unique<MigrationController>(ctx, id)) {
   controller_->set_incoming_options(options.incoming_migration);
+}
+
+void Server::Shutdown() {
+  up_ = false;
+  controller_.reset();
+}
+
+void Server::Reboot(MigrationContext* ctx, const MigrationOptions& incoming) {
+  controller_ = std::make_unique<MigrationController>(ctx, id_);
+  controller_->set_incoming_options(incoming);
+  up_ = true;
 }
 
 Cluster::Cluster(sim::Simulator* sim, const ClusterOptions& options)
@@ -70,7 +91,7 @@ Status Cluster::RemoveTenant(uint64_t tenant_id) {
   Result<uint64_t> host = directory_.Lookup(tenant_id);
   SLACKER_RETURN_IF_ERROR(host.status());
   SLACKER_RETURN_IF_ERROR(directory_.Remove(tenant_id));
-  return server(*host)->tenants()->DeleteTenant(tenant_id);
+  return DeleteTenantOn(*host, tenant_id);
 }
 
 Status Cluster::StartMigration(uint64_t tenant_id, uint64_t target_server,
@@ -81,6 +102,12 @@ Status Cluster::StartMigration(uint64_t tenant_id, uint64_t target_server,
   if (server(target_server) == nullptr) {
     return Status::NotFound("no such target server");
   }
+  if (!server(*host)->up()) {
+    return Status::Unavailable("source server is down");
+  }
+  if (!server(target_server)->up()) {
+    return Status::Unavailable("target server is down");
+  }
   return server(*host)->controller()->StartMigration(tenant_id, target_server,
                                                      options, std::move(done));
 }
@@ -88,13 +115,18 @@ Status Cluster::StartMigration(uint64_t tenant_id, uint64_t target_server,
 MigrationJob* Cluster::ActiveJob(uint64_t tenant_id) {
   const Result<uint64_t> host = directory_.Lookup(tenant_id);
   if (!host.ok()) return nullptr;
-  return server(*host)->controller()->ActiveJob(tenant_id);
+  Server* source = server(*host);
+  if (source == nullptr || source->controller() == nullptr) return nullptr;
+  return source->controller()->ActiveJob(tenant_id);
 }
 
 Status Cluster::CancelMigration(uint64_t tenant_id,
                                 const std::string& reason) {
   const Result<uint64_t> host = directory_.Lookup(tenant_id);
   SLACKER_RETURN_IF_ERROR(host.status());
+  if (server(*host)->controller() == nullptr) {
+    return Status::Unavailable("source server is down");
+  }
   return server(*host)->controller()->CancelMigration(tenant_id, reason);
 }
 
@@ -133,7 +165,155 @@ Result<engine::TenantDb*> Cluster::CreateTenantOn(
 Status Cluster::DeleteTenantOn(uint64_t server_id, uint64_t tenant_id) {
   Server* host = server(server_id);
   if (host == nullptr) return Status::NotFound("no such server");
+  // A deliberate delete removes the data directory: nothing of this
+  // instance is recoverable afterwards. Only the separately staged
+  // migration chunks (kept for resume) may outlive it.
+  host->durable()->EraseCheckpoint(tenant_id);
+  host->durable()->EraseCrashState(tenant_id);
   return host->tenants()->DeleteTenant(tenant_id);
+}
+
+void Cluster::CrashServer(uint64_t server_id) {
+  Server* host = server(server_id);
+  if (host == nullptr || !host->up()) return;
+  SLACKER_LOG_WARN << "server " << server_id << " crashed";
+  DurableStore* durable = host->durable();
+  for (uint64_t tenant_id : host->tenants()->TenantIds()) {
+    engine::TenantDb* db = host->tenants()->Get(tenant_id);
+    const Result<uint64_t> authority = directory_.Lookup(tenant_id);
+    if (authority.ok() && *authority == server_id) {
+      // The binlog is the WAL — it was written synchronously to disk
+      // and survives. The in-memory table does not.
+      DurableTenantState state;
+      state.config = db->config();
+      state.log = *db->binlog();
+      durable->SaveCrashState(tenant_id, std::move(state));
+    } else {
+      // Staging instance (or stale residue): its half-built table dies
+      // with the process. Durably staged chunks remain for resume.
+      durable->EraseCrashState(tenant_id);
+    }
+    db->FailInFlight(Status::Unavailable("server crashed"));
+    (void)host->tenants()->DeleteTenant(tenant_id);
+  }
+  host->Shutdown();
+}
+
+void Cluster::RestartServer(uint64_t server_id, SimTime delay) {
+  sim_->After(delay, [this, server_id] { RecoverServer(server_id); });
+}
+
+void Cluster::RecoverServer(uint64_t server_id) {
+  Server* host = server(server_id);
+  if (host == nullptr || host->up()) return;
+  host->Reboot(this, options_.incoming_migration);
+  SLACKER_LOG_INFO << "server " << server_id << " restarted";
+  DurableStore* durable = host->durable();
+  for (uint64_t tenant_id : durable->CrashedTenants()) {
+    const DurableTenantState* state = durable->CrashState(tenant_id);
+    const Result<uint64_t> authority = directory_.Lookup(tenant_id);
+    if (!authority.ok() || *authority != server_id) {
+      // Ownership moved while this server was down.
+      durable->EraseCrashState(tenant_id);
+      continue;
+    }
+    Result<engine::TenantDb*> created = host->tenants()->CreateTenant(
+        state->config, /*load=*/false, /*frozen=*/true);
+    if (!created.ok()) {
+      SLACKER_LOG_ERROR << "tenant " << tenant_id
+                        << " failed to reinstantiate after restart: "
+                        << created.status().ToString();
+      continue;
+    }
+    engine::TenantDb* db = *created;
+    uint64_t recovery_bytes = 0;
+    bool recovered = false;
+    const engine::CheckpointImage* image = durable->Checkpoint(tenant_id);
+    if (image != nullptr) {
+      const Result<storage::Lsn> lsn =
+          engine::RecoverFromCheckpoint(*image, state->log, db);
+      if (lsn.ok()) {
+        recovered = true;
+        recovery_bytes =
+            image->LogicalBytes(state->config.layout.record_bytes);
+        if (state->log.last_lsn() > image->lsn) {
+          recovery_bytes +=
+              state->log.BytesInRange(image->lsn + 1, state->log.last_lsn());
+        }
+      } else {
+        SLACKER_LOG_WARN << "tenant " << tenant_id
+                         << " checkpoint unusable ("
+                         << lsn.status().ToString()
+                         << "); falling back to full replay";
+      }
+    }
+    if (!recovered) {
+      if (state->log.first_lsn() > 1) {
+        // The log was purged past the initial load and no checkpoint
+        // bridges the gap: the prefix is unrecoverable. Never serve a
+        // divergent table — declare the data lost.
+        SLACKER_LOG_ERROR << "tenant " << tenant_id
+                          << " unrecoverable after crash (binlog purged, "
+                             "no valid checkpoint); dropping";
+        (void)host->tenants()->DeleteTenant(tenant_id);
+        durable->EraseCrashState(tenant_id);
+        (void)directory_.Remove(tenant_id);
+        continue;
+      }
+      // Implicit LSN-0 checkpoint: the initial Load() image plus a full
+      // log replay.
+      db->Load();
+      (void)wal::ReplayBinlog(state->log, 1, db->mutable_table());
+      // The implicit checkpoint is the initial load image: recovery
+      // re-reads the whole base table plus the full log.
+      recovery_bytes =
+          state->config.layout.DataBytes() + state->log.total_bytes();
+    }
+    db->RestoreBinlog(state->log);
+    durable->EraseCrashState(tenant_id);
+    // Recovery reads the checkpoint + log suffix off disk; the tenant
+    // stays frozen (queueing queries) until the scan completes.
+    db->ChargeSequentialRead(std::max<uint64_t>(recovery_bytes, 1),
+                             kRecoveryStreamId, [db] { db->Unfreeze(); });
+  }
+}
+
+bool Cluster::ServerUp(uint64_t server_id) const {
+  return server_id < servers_.size() && servers_[server_id]->up();
+}
+
+void Cluster::SetPartitioned(uint64_t a, uint64_t b, bool partitioned) {
+  const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+  if (partitioned) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+bool Cluster::IsPartitioned(uint64_t a, uint64_t b) const {
+  return partitions_.count(std::make_pair(std::min(a, b), std::max(a, b))) > 0;
+}
+
+Status Cluster::CheckpointTenant(uint64_t tenant_id) {
+  const Result<uint64_t> host_id = directory_.Lookup(tenant_id);
+  SLACKER_RETURN_IF_ERROR(host_id.status());
+  Server* host = server(*host_id);
+  if (host == nullptr || !host->up()) {
+    return Status::Unavailable("host server is down");
+  }
+  engine::TenantDb* db = host->tenants()->Get(tenant_id);
+  if (db == nullptr) {
+    return Status::NotFound("tenant not instantiated on its host");
+  }
+  engine::CheckpointImage image = engine::TakeCheckpoint(*db);
+  const uint64_t bytes =
+      std::max<uint64_t>(image.LogicalBytes(db->config().layout.record_bytes),
+                         1);
+  host->durable()->SaveCheckpoint(std::move(image));
+  // The checkpoint write competes with query traffic for the disk.
+  db->ChargeSequentialWrite(bytes, kRecoveryStreamId, nullptr);
+  return Status::Ok();
 }
 
 net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
@@ -145,9 +325,13 @@ net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
   auto channel = std::make_unique<net::Channel>(sim_, link.get());
   channel->OnMessage([this, from, to](const net::Message& message) {
     Server* receiver = server(to);
-    if (receiver != nullptr) {
-      receiver->controller()->HandleMessage(from, message);
+    // A crashed receiver or a cut link silently eats the message, just
+    // like a real network.
+    if (receiver == nullptr || !receiver->up() ||
+        receiver->controller() == nullptr || IsPartitioned(from, to)) {
+      return;
     }
+    receiver->controller()->HandleMessage(from, message);
   });
   channel->OnError([](const Status& status) {
     SLACKER_LOG_ERROR << "channel error: " << status.ToString();
@@ -160,12 +344,19 @@ net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
 
 void Cluster::SendMessage(uint64_t from_server, uint64_t to_server,
                           const net::Message& message) {
+  Server* sender = server(from_server);
+  if (sender == nullptr || !sender->up()) return;
   ChannelBetween(from_server, to_server)->Send(message);
 }
 
 control::LatencyMonitor* Cluster::MonitorOn(uint64_t server_id) {
   Server* host = server(server_id);
   return host == nullptr ? nullptr : host->monitor();
+}
+
+DurableStore* Cluster::DurableStoreOn(uint64_t server_id) {
+  Server* host = server(server_id);
+  return host == nullptr ? nullptr : host->durable();
 }
 
 }  // namespace slacker

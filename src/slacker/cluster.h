@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -58,9 +60,23 @@ class Server {
   resource::CpuModel* cpu() { return &cpu_; }
   TenantManager* tenants() { return &tenants_; }
   control::LatencyMonitor* monitor() { return &monitor_; }
+  /// nullptr while the server is down.
   MigrationController* controller() { return controller_.get(); }
   /// Non-null only under MultitenancyModel::kSharedProcess.
   storage::BufferPool* shared_pool() { return shared_pool_.get(); }
+
+  /// State that survives a crash: checkpoints, salvaged binlogs, and
+  /// durably staged migration chunks (the simulated disk contents).
+  DurableStore* durable() { return &durable_; }
+  bool up() const { return up_; }
+  /// Kills the control plane — the migration controller and every
+  /// job/session it owns die with the process. The caller must already
+  /// have failed and deleted the tenants (Cluster::CrashServer does).
+  void Shutdown();
+  /// Brings the server back with a fresh controller. Disk/CPU queues
+  /// survive as objects; in-flight completions for dead tenants are
+  /// no-ops via their expiry guards.
+  void Reboot(MigrationContext* ctx, const MigrationOptions& incoming);
 
  private:
   uint64_t id_;
@@ -70,6 +86,8 @@ class Server {
   TenantManager tenants_;
   control::LatencyMonitor monitor_;
   std::unique_ptr<MigrationController> controller_;
+  DurableStore durable_;
+  bool up_ = true;
 };
 
 /// The whole testbed in one object (the Figure 4 / Figure 10 setup):
@@ -110,6 +128,29 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   Status CancelMigration(uint64_t tenant_id,
                          const std::string& reason = "operator request");
 
+  // --- Fault injection --------------------------------------------
+  /// Kills `server_id` abruptly: every in-flight operation on its
+  /// tenants fails with kUnavailable, its migration controller (jobs
+  /// and staging sessions included) dies, and undelivered messages to
+  /// it are dropped. What survives is the durable store: binlogs of
+  /// the tenants it was authoritative for are salvaged into it at
+  /// crash time (the WAL was on disk), alongside any checkpoints and
+  /// staged migration chunks already there. No-op if already down.
+  void CrashServer(uint64_t server_id);
+  /// Schedules recovery `delay` seconds from now: reboot, then for each
+  /// salvaged tenant rebuild from checkpoint + binlog suffix (or full
+  /// binlog replay from the initial load), charging the recovery read
+  /// before the tenant unfreezes and serves again.
+  void RestartServer(uint64_t server_id, SimTime delay);
+  bool ServerUp(uint64_t server_id) const;
+  /// Cuts (or heals) the link between two servers; messages between
+  /// them are silently dropped while partitioned.
+  void SetPartitioned(uint64_t a, uint64_t b, bool partitioned);
+  /// Quiesce-free durability point: snapshots `tenant_id`'s table into
+  /// its host's durable store and charges the checkpoint write. Call
+  /// when the tenant is idle or frozen (the image is not fuzzy-safe).
+  Status CheckpointTenant(uint64_t tenant_id);
+
   // --- Client plumbing --------------------------------------------
   /// TenantResolver: current authoritative instance for the tenant.
   engine::TenantDb* Resolve(uint64_t tenant_id) override;
@@ -129,8 +170,12 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   void SendMessage(uint64_t from_server, uint64_t to_server,
                    const net::Message& message) override;
   control::LatencyMonitor* MonitorOn(uint64_t server_id) override;
+  DurableStore* DurableStoreOn(uint64_t server_id) override;
 
  private:
+  void RecoverServer(uint64_t server_id);
+  bool IsPartitioned(uint64_t a, uint64_t b) const;
+
   sim::Simulator* sim_;
   ClusterOptions options_;
   std::vector<std::unique_ptr<Server>> servers_;
@@ -142,6 +187,8 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   std::map<std::pair<uint64_t, uint64_t>, std::unique_ptr<net::Channel>>
       channels_;
   std::map<uint64_t, std::vector<workload::ClientPool*>> pools_by_tenant_;
+  /// Unordered server pairs (min, max) whose link is currently cut.
+  std::set<std::pair<uint64_t, uint64_t>> partitions_;
 };
 
 }  // namespace slacker

@@ -1,0 +1,169 @@
+#include "src/slacker/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace slacker {
+namespace {
+
+/// Phase-watcher poll interval. Fine enough to catch the sub-second
+/// handover phase, coarse enough to stay cheap.
+constexpr SimTime kPhasePollInterval = 0.002;
+
+}  // namespace
+
+FaultPlan& FaultPlan::Add(FaultSpec spec) {
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CrashAt(uint64_t server_id, SimTime at_time,
+                              SimTime restart_after) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.server_id = server_id;
+  spec.at_time = at_time;
+  spec.restart_after = restart_after;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::CrashAtPhase(uint64_t server_id, uint64_t watch_tenant,
+                                   MigrationPhase phase, SimTime restart_after,
+                                   SimTime phase_delay) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.server_id = server_id;
+  spec.has_phase_trigger = true;
+  spec.watch_tenant = watch_tenant;
+  spec.at_phase = phase;
+  spec.phase_delay = phase_delay;
+  spec.restart_after = restart_after;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::RestartAt(uint64_t server_id, SimTime at_time) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kRestart;
+  spec.server_id = server_id;
+  spec.at_time = at_time;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::PartitionAt(uint64_t a, uint64_t b, SimTime at_time,
+                                  SimTime heal_after) {
+  FaultSpec cut;
+  cut.kind = FaultKind::kPartition;
+  cut.server_id = a;
+  cut.peer = b;
+  cut.at_time = at_time;
+  Add(cut);
+  FaultSpec heal;
+  heal.kind = FaultKind::kHeal;
+  heal.server_id = a;
+  heal.peer = b;
+  heal.at_time = at_time + heal_after;
+  return Add(heal);
+}
+
+FaultPlan FaultPlan::RandomCrashes(int count, int num_servers,
+                                   SimTime horizon, SimTime min_down,
+                                   SimTime max_down, uint64_t seed) {
+  FaultPlan plan;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const uint64_t server =
+        rng.NextBelow(static_cast<uint64_t>(num_servers));
+    const SimTime when = rng.Uniform(0.0, horizon);
+    const SimTime down = rng.Uniform(min_down, max_down);
+    plan.CrashAt(server, when, down);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(Cluster* cluster, FaultPlan plan)
+    : cluster_(cluster),
+      sim_(cluster->simulator()),
+      plan_(std::move(plan)),
+      job_seen_(plan_.specs().size(), false) {}
+
+FaultInjector::~FaultInjector() { *alive_ = false; }
+
+void FaultInjector::Arm() {
+  for (size_t i = 0; i < plan_.specs().size(); ++i) {
+    const FaultSpec& spec = plan_.specs()[i];
+    if (spec.has_phase_trigger) {
+      WatchPhase(i);
+    } else if (spec.at_time >= 0.0) {
+      const SimTime delay = std::max(spec.at_time - sim_->Now(), 0.0);
+      sim_->After(delay, [this, i, alive = std::weak_ptr<bool>(alive_)] {
+        if (alive.expired()) return;
+        Fire(plan_.specs()[i]);
+      });
+    } else {
+      Fire(spec);
+    }
+  }
+}
+
+void FaultInjector::WatchPhase(size_t index) {
+  sim_->After(kPhasePollInterval,
+              [this, index, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    const FaultSpec& spec = plan_.specs()[index];
+    MigrationJob* job = cluster_->ActiveJob(spec.watch_tenant);
+    if (job == nullptr) {
+      if (!job_seen_[index]) {
+        WatchPhase(index);  // Migration not started yet.
+        return;
+      }
+      // The watched job resolved (or died) before reaching the phase.
+      // Fire anyway: a fault landing just after the migration settled
+      // is a scenario the cluster must survive too.
+      Fire(spec);
+      return;
+    }
+    job_seen_[index] = true;
+    if (static_cast<int>(job->phase()) >= static_cast<int>(spec.at_phase)) {
+      if (spec.phase_delay > 0.0) {
+        sim_->After(spec.phase_delay,
+                    [this, index, alive2 = std::weak_ptr<bool>(alive_)] {
+                      if (alive2.expired()) return;
+                      Fire(plan_.specs()[index]);
+                    });
+      } else {
+        Fire(spec);
+      }
+      return;
+    }
+    WatchPhase(index);
+  });
+}
+
+void FaultInjector::Fire(const FaultSpec& spec) {
+  ++faults_fired_;
+  switch (spec.kind) {
+    case FaultKind::kCrash:
+      SLACKER_LOG_WARN << "fault injector: crashing server "
+                       << spec.server_id;
+      cluster_->CrashServer(spec.server_id);
+      if (spec.restart_after > 0.0) {
+        cluster_->RestartServer(spec.server_id, spec.restart_after);
+      }
+      return;
+    case FaultKind::kRestart:
+      cluster_->RestartServer(spec.server_id, 0.0);
+      return;
+    case FaultKind::kPartition:
+      SLACKER_LOG_WARN << "fault injector: partitioning " << spec.server_id
+                       << " <-> " << spec.peer;
+      cluster_->SetPartitioned(spec.server_id, spec.peer, true);
+      return;
+    case FaultKind::kHeal:
+      cluster_->SetPartitioned(spec.server_id, spec.peer, false);
+      return;
+  }
+}
+
+}  // namespace slacker

@@ -1,0 +1,115 @@
+#ifndef SLACKER_SLACKER_FAULT_INJECTOR_H_
+#define SLACKER_SLACKER_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+#include "src/slacker/cluster.h"
+#include "src/slacker/options.h"
+
+namespace slacker {
+
+enum class FaultKind {
+  /// CrashServer(server_id); optionally RestartServer after
+  /// restart_after seconds.
+  kCrash,
+  /// RestartServer(server_id) at the trigger time.
+  kRestart,
+  /// Cut the link between server_id and peer.
+  kPartition,
+  /// Heal the link between server_id and peer.
+  kHeal,
+};
+
+/// One scheduled fault. Triggered either at an absolute simulation time
+/// (at_time >= 0) or when a watched tenant's migration reaches a phase
+/// (has_phase_trigger) — the injector polls the active job and fires
+/// `phase_delay` seconds after the phase is first observed.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  uint64_t server_id = 0;
+  /// kPartition / kHeal: the other end of the link.
+  uint64_t peer = 0;
+
+  /// Absolute trigger time; negative = not time-triggered.
+  SimTime at_time = -1.0;
+
+  bool has_phase_trigger = false;
+  uint64_t watch_tenant = 0;
+  MigrationPhase at_phase = MigrationPhase::kSnapshot;
+  /// Extra delay between observing the phase and firing (e.g. "2 s into
+  /// the snapshot").
+  SimTime phase_delay = 0.0;
+
+  /// kCrash: schedule recovery this long after the crash (0 = stay
+  /// down until an explicit kRestart spec).
+  SimTime restart_after = 0.0;
+};
+
+/// A composable schedule of faults.
+class FaultPlan {
+ public:
+  FaultPlan& Add(FaultSpec spec);
+  FaultPlan& CrashAt(uint64_t server_id, SimTime at_time,
+                     SimTime restart_after = 0.0);
+  /// Crash `server_id` when tenant `watch_tenant`'s migration reaches
+  /// `phase` (plus `phase_delay`), restarting after `restart_after`.
+  FaultPlan& CrashAtPhase(uint64_t server_id, uint64_t watch_tenant,
+                          MigrationPhase phase, SimTime restart_after = 0.0,
+                          SimTime phase_delay = 0.0);
+  FaultPlan& RestartAt(uint64_t server_id, SimTime at_time);
+  FaultPlan& PartitionAt(uint64_t a, uint64_t b, SimTime at_time,
+                         SimTime heal_after);
+
+  /// `count` crash/restart pairs at Uniform times in [0, horizon), each
+  /// down for Uniform [min_down, max_down) seconds, on servers drawn
+  /// from [0, num_servers). Deterministic in `seed`.
+  static FaultPlan RandomCrashes(int count, int num_servers, SimTime horizon,
+                                 SimTime min_down, SimTime max_down,
+                                 uint64_t seed);
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+/// Executes a FaultPlan against a Cluster: time triggers become plain
+/// simulator events; phase triggers poll the watched tenant's active
+/// migration job every few milliseconds. A phase watcher that sees the
+/// job disappear before reaching its phase fires anyway — the fault
+/// lands just after the migration resolved, which is itself a scenario
+/// worth surviving.
+class FaultInjector {
+ public:
+  FaultInjector(Cluster* cluster, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every spec. Call once before Simulator::Run.
+  void Arm();
+
+  int faults_fired() const { return faults_fired_; }
+
+ private:
+  void Fire(const FaultSpec& spec);
+  void WatchPhase(size_t index);
+
+  Cluster* cluster_;
+  sim::Simulator* sim_;
+  FaultPlan plan_;
+  /// Per spec: the watched job has been observed at least once.
+  std::vector<bool> job_seen_;
+  int faults_fired_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace slacker
+
+#endif  // SLACKER_SLACKER_FAULT_INJECTOR_H_

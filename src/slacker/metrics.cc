@@ -13,6 +13,7 @@ ClusterMetrics CollectMetrics(Cluster* cluster) {
     Server* server = cluster->server(sid);
     ServerMetrics sm;
     sm.server_id = sid;
+    sm.up = server->up();
     sm.disk_utilization = server->disk()->Utilization();
     sm.cpu_utilization = server->cpu()->Utilization();
     sm.disk_queue_depth = server->disk()->QueueDepth();
@@ -28,8 +29,8 @@ ClusterMetrics CollectMetrics(Cluster* cluster) {
       tm.buffer_hit_rate = db->buffer_pool()->HitRate();
       tm.ops_executed = db->ops_executed();
       tm.frozen = db->frozen();
-      tm.migrating =
-          server->controller()->ActiveJob(tenant_id) != nullptr;
+      tm.migrating = server->controller() != nullptr &&
+                     server->controller()->ActiveJob(tenant_id) != nullptr;
       if (tm.migrating) ++metrics.active_migrations;
       sm.tenants.push_back(tm);
     }
@@ -48,10 +49,11 @@ std::string ClusterMetrics::ToString() const {
   for (const ServerMetrics& s : servers) {
     std::snprintf(line, sizeof(line),
                   "  server %llu: disk %3.0f%%  cpu %3.0f%%  queue %zu  "
-                  "latency %.0f ms\n",
+                  "latency %.0f ms%s\n",
                   static_cast<unsigned long long>(s.server_id),
                   s.disk_utilization * 100.0, s.cpu_utilization * 100.0,
-                  s.disk_queue_depth, s.window_latency_ms);
+                  s.disk_queue_depth, s.window_latency_ms,
+                  s.up ? "" : "  [down]");
     out << line;
     for (const TenantMetrics& t : s.tenants) {
       std::snprintf(

@@ -27,6 +27,8 @@ struct TenantMetrics {
 /// One server's state at sample time.
 struct ServerMetrics {
   uint64_t server_id = 0;
+  /// False while the server is crashed (tenant list is then empty).
+  bool up = true;
   double disk_utilization = 0.0;
   double cpu_utilization = 0.0;
   size_t disk_queue_depth = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/engine/checkpoint.h"
 #include "src/wal/recovery.h"
 
 namespace slacker {
@@ -13,6 +14,8 @@ namespace {
 /// id so sequential chunks keep their head position between each other
 /// but pay a seek after any interleaved tenant I/O.
 constexpr uint64_t kMigrationStreamId = UINT64_MAX - 1;
+/// Target-side staging writes (chunk ingest + resume re-read).
+constexpr uint64_t kStagingStreamId = UINT64_MAX - 2;
 
 net::TenantWireConfig WireConfigFrom(const engine::TenantConfig& config) {
   net::TenantWireConfig wire;
@@ -113,6 +116,7 @@ Status MigrationJob::Start() {
   request.tenant_id = tenant_id_;
   request.target_server = target_server_;
   request.config = WireConfigFrom(source_db_->config());
+  request.resume = options_.allow_resume;
   ctx_->SendMessage(source_server_, target_server_, request);
   if (options_.timeout_seconds > 0.0) {
     ArmWatchdog(options_.timeout_seconds);
@@ -137,14 +141,14 @@ void MigrationJob::ArmWatchdog(SimTime delay) {
     SLACKER_LOG_WARN << "migration of tenant " << tenant_id_
                      << " timed out; aborting";
     if (phase_ == MigrationPhase::kHandover) {
-      ForceAbort("watchdog timeout during handover");
+      ForceAbort(Status::Aborted("watchdog timeout during handover"));
     } else {
       (void)Cancel("watchdog timeout");
     }
   });
 }
 
-void MigrationJob::ForceAbort(const std::string& reason) {
+void MigrationJob::ForceAbort(Status status) {
   if (finished_) return;
   // No commit decision exists while the job is unfinished (OnHandoverAck
   // decides and finishes atomically in the event loop), so reverting to
@@ -152,12 +156,12 @@ void MigrationJob::ForceAbort(const std::string& reason) {
   net::Message abort;
   abort.type = net::MessageType::kMigrateAbort;
   abort.tenant_id = tenant_id_;
-  abort.error = reason;
+  abort.error = status.ToString();
   ctx_->SendMessage(source_server_, target_server_, abort);
   if (source_db_ != nullptr && source_db_->frozen()) {
     source_db_->Unfreeze();
   }
-  Finish(Status::Aborted(reason));
+  Finish(std::move(status));
 }
 
 Status MigrationJob::Cancel(const std::string& reason) {
@@ -218,6 +222,29 @@ void MigrationJob::StartController() {
 
 void MigrationJob::OnTick(SimTime now) {
   if (finished_) return;
+  if (options_.overload_abort_ms > 0.0 &&
+      phase_ == MigrationPhase::kSnapshot) {
+    // Graceful degradation: a target that cannot absorb the stream
+    // without sustained SLA violation gets the migration taken off its
+    // back — the supervisor retries later instead of grinding at the
+    // throttle floor.
+    control::LatencyMonitor* target_monitor = ctx_->MonitorOn(target_server_);
+    const double target_ms =
+        target_monitor == nullptr ? 0.0 : target_monitor->WindowAverageMs(now);
+    if (target_ms > options_.overload_abort_ms) {
+      if (++overload_strikes_ >= options_.overload_abort_ticks) {
+        SLACKER_LOG_WARN << "migration of tenant " << tenant_id_
+                         << " aborting: target latency " << target_ms
+                         << " ms above " << options_.overload_abort_ms
+                         << " ms for " << overload_strikes_ << " ticks";
+        ForceAbort(Status::TargetOverloaded(
+            "target latency over SLA during snapshot"));
+        return;
+      }
+    } else {
+      overload_strikes_ = 0;
+    }
+  }
   const double rate_mbps = policy_->OnTick(now, options_.controller_tick);
   throttle_->SetRate(BytesPerSecFromMBps(rate_mbps));
   report_.throttle_series.Add(now, rate_mbps);
@@ -234,16 +261,16 @@ void MigrationJob::HandleMessage(const net::Message& message) {
   switch (message.type) {
     case net::MessageType::kMigrateAccept: {
       if (phase_ != MigrationPhase::kNegotiate) return;
-      if (options_.mode == MigrationMode::kStopAndCopy) {
-        // Stop-and-copy freezes the tenant for the entire copy (§2.3.1).
-        freeze_time_ = sim_->Now();
-        source_db_->Freeze([this, alive = std::weak_ptr<bool>(alive_)] {
-          if (alive.expired()) return;
-          BeginSnapshot();
-        });
-      } else {
-        BeginSnapshot();
-      }
+      OnAccepted(/*resume_offer=*/false, message);
+      return;
+    }
+    case net::MessageType::kSnapshotResume: {
+      if (phase_ != MigrationPhase::kNegotiate) return;
+      OnAccepted(/*resume_offer=*/true, message);
+      return;
+    }
+    case net::MessageType::kSnapshotNack: {
+      OnSnapshotNack(message);
       return;
     }
     case net::MessageType::kSnapshotAck: {
@@ -289,21 +316,54 @@ void MigrationJob::HandleMessage(const net::Message& message) {
   }
 }
 
+void MigrationJob::OnAccepted(bool resume_offer, const net::Message& message) {
+  if (resume_offer && options_.allow_resume &&
+      options_.mode == MigrationMode::kLive &&
+      source_db_->binlog()->first_lsn() <= message.lsn + 1) {
+    // The target still holds durably staged chunks from an earlier
+    // attempt, and our binlog still covers that attempt's snapshot LSN:
+    // skip the staged key range and ship deltas from the old LSN. The
+    // fuzzy-snapshot invariant is unchanged — staged rows are old, but
+    // the delta rounds replay everything since resume_lsn_ on top.
+    resuming_ = true;
+    resume_lsn_ = message.lsn;
+    resume_key_ = message.resume_key;
+    report_.resumed_bytes = message.payload_bytes;
+    SLACKER_LOG_INFO << "migration of tenant " << tenant_id_ << " resuming: "
+                     << message.payload_bytes
+                     << " bytes already staged at target";
+  }
+  if (options_.mode == MigrationMode::kStopAndCopy) {
+    // Stop-and-copy freezes the tenant for the entire copy (§2.3.1).
+    freeze_time_ = sim_->Now();
+    source_db_->Freeze([this, alive = std::weak_ptr<bool>(alive_)] {
+      if (alive.expired()) return;
+      BeginSnapshot();
+    });
+  } else {
+    BeginSnapshot();
+  }
+}
+
 void MigrationJob::BeginSnapshot() {
   EnterPhase(MigrationPhase::kSnapshot);
-  snapshot_ =
-      std::make_unique<backup::HotBackupStream>(source_db_, options_.backup);
+  snapshot_ = std::make_unique<backup::HotBackupStream>(
+      source_db_, options_.backup, resuming_ ? resume_key_ : 0);
+  const storage::Lsn snap_lsn =
+      resuming_ ? resume_lsn_ : snapshot_->start_lsn();
   shipper_ = std::make_unique<backup::DeltaShipper>(source_db_->binlog(),
-                                                    snapshot_->start_lsn());
+                                                    snap_lsn);
   // Keep the delta range readable even if a retention policy purges the
   // source binlog mid-migration.
-  binlog_pin_ = source_db_->PinBinlog(snapshot_->start_lsn() + 1);
+  binlog_pin_ = source_db_->PinBinlog(snap_lsn + 1);
   StartController();
 
   net::Message begin;
   begin.type = net::MessageType::kSnapshotBegin;
   begin.tenant_id = tenant_id_;
-  begin.lsn = snapshot_->start_lsn();
+  begin.lsn = snap_lsn;
+  begin.resume = resuming_;
+  begin.resume_key = resume_key_;
   ctx_->SendMessage(source_server_, target_server_, begin);
 
   PumpSnapshot();
@@ -340,6 +400,7 @@ void MigrationJob::PumpSnapshot() {
           msg.tenant_id = tenant_id_;
           msg.chunk_seq = chunk.seq;
           msg.payload_bytes = chunk.logical_bytes;
+          msg.chunk_crc = backup::ChunkCrc(chunk.rows);
           msg.rows = std::move(chunk.rows);
           ctx_->SendMessage(source_server_, target_server_, msg);
           --inflight_chunks_;
@@ -358,7 +419,32 @@ void MigrationJob::OnSnapshotDrained() {
   end.type = net::MessageType::kSnapshotEnd;
   end.tenant_id = tenant_id_;
   end.lsn = source_db_->last_lsn();
+  // How many in-order chunks the target must hold before acking.
+  end.chunk_seq = snapshot_->next_seq();
   ctx_->SendMessage(source_server_, target_server_, end);
+}
+
+void MigrationJob::OnSnapshotNack(const net::Message& message) {
+  if (finished_ || phase_ != MigrationPhase::kSnapshot ||
+      snapshot_ == nullptr) {
+    return;
+  }
+  if (message.chunk_seq >= snapshot_->next_seq()) return;
+  if (++retransmit_rounds_ > options_.max_chunk_retransmits) {
+    // A path that keeps corrupting or dropping chunks never converges;
+    // surface it as corruption so the supervisor retries from scratch.
+    ForceAbort(
+        Status::Corruption("snapshot chunk retransmit budget exhausted"));
+    return;
+  }
+  SLACKER_LOG_WARN << "tenant " << tenant_id_ << " snapshot NACK at chunk "
+                   << message.chunk_seq << "; rewinding from "
+                   << snapshot_->next_seq();
+  report_.chunks_retransmitted += snapshot_->next_seq() - message.chunk_seq;
+  // Go-back-N: rewind the cursor to the gap and restream from there.
+  snapshot_->RewindTo(message.chunk_seq);
+  snapshot_sent_end_ = false;
+  PumpSnapshot();
 }
 
 void MigrationJob::BeginPrepare() {
@@ -540,7 +626,9 @@ TargetSession::TargetSession(MigrationContext* ctx, uint64_t self_server,
       self_server_(self_server),
       source_server_(source_server),
       tenant_id_(request.tenant_id),
-      options_(options) {
+      options_(options),
+      wire_config_(request.config),
+      store_(ctx->DurableStoreOn(self_server)) {
   const engine::TenantConfig config =
       ConfigFromWire(request.tenant_id, request.config);
   Result<engine::TenantDb*> staging =
@@ -551,6 +639,28 @@ TargetSession::TargetSession(MigrationContext* ctx, uint64_t self_server,
     return;
   }
   staging_ = *staging;
+  if (options_.allow_resume && request.resume && store_ != nullptr) {
+    const StagedSnapshot* staged = store_->Staged(tenant_id_);
+    if (staged != nullptr && staged->config == wire_config_ &&
+        !staged->rows.empty()) {
+      // An earlier attempt durably staged part of the snapshot here.
+      // Rebuild the staging table from it and offer the source a resume
+      // point so it skips the keys below resume_key.
+      ApplyRows(staged->rows, staging_->mutable_table());
+      rows_received_ = staged->rows.size();
+      snap_start_lsn_ = staged->start_lsn;
+      resumed_ = true;
+      if (staged->bytes_staged > 0) {
+        // Re-reading the staged chunks off the local disk is cheap
+        // compared to restreaming, but not free.
+        staging_->ChargeSequentialRead(staged->bytes_staged,
+                                       kStagingStreamId, nullptr);
+      }
+      SLACKER_LOG_INFO << "tenant " << tenant_id_ << " staging rebuilt from "
+                       << staged->bytes_staged << " durably staged bytes";
+    }
+  }
+  ArmIdleTimer();
 }
 
 void TargetSession::ReplyToRequest() {
@@ -559,14 +669,22 @@ void TargetSession::ReplyToRequest() {
     return;
   }
   net::Message accept;
-  accept.type = net::MessageType::kMigrateAccept;
   accept.tenant_id = tenant_id_;
+  if (resumed_) {
+    const StagedSnapshot* staged = store_->Staged(tenant_id_);
+    accept.type = net::MessageType::kSnapshotResume;
+    accept.lsn = snap_start_lsn_;
+    accept.resume = true;
+    accept.resume_key = staged->resume_key;
+    accept.payload_bytes = staged->bytes_staged;
+  } else {
+    accept.type = net::MessageType::kMigrateAccept;
+  }
   ctx_->SendMessage(self_server_, source_server_, accept);
 }
 
 void TargetSession::Abort(const Status& status) {
   status_ = status;
-  finished_ = true;
   if (staging_ != nullptr) {
     ctx_->DeleteTenantOn(self_server_, tenant_id_);
     staging_ = nullptr;
@@ -576,6 +694,58 @@ void TargetSession::Abort(const Status& status) {
   abort.tenant_id = tenant_id_;
   abort.error = status.ToString();
   ctx_->SendMessage(self_server_, source_server_, abort);
+  MarkFinished();
+}
+
+void TargetSession::MarkFinished() {
+  finished_ = true;
+  if (on_finished_) on_finished_();
+}
+
+void TargetSession::MaybeNack() {
+  // Re-NACK the same gap only after several more arrivals: with
+  // go-back-N the source resends everything from the gap, so each
+  // out-of-order chunk in between must not trigger its own NACK.
+  if (last_nacked_seq_ == expected_seq_ && ++chunks_since_nack_ < 8) return;
+  net::Message nack;
+  nack.type = net::MessageType::kSnapshotNack;
+  nack.tenant_id = tenant_id_;
+  nack.chunk_seq = expected_seq_;
+  ctx_->SendMessage(self_server_, source_server_, nack);
+  ++chunks_nacked_;
+  last_nacked_seq_ = expected_seq_;
+  chunks_since_nack_ = 0;
+}
+
+void TargetSession::SendSnapshotAck() {
+  net::Message ack;
+  ack.type = net::MessageType::kSnapshotAck;
+  ack.tenant_id = tenant_id_;
+  ack.lsn = final_lsn_;
+  ctx_->SendMessage(self_server_, source_server_, ack);
+}
+
+void TargetSession::ArmIdleTimer() {
+  if (options_.session_idle_timeout <= 0.0) return;
+  const uint64_t generation = ++idle_generation_;
+  ctx_->simulator()->After(
+      options_.session_idle_timeout,
+      [this, generation, alive = std::weak_ptr<bool>(alive_)] {
+        if (alive.expired()) return;
+        if (finished_ || awaiting_decision_) return;
+        if (generation != idle_generation_) return;  // Re-armed since.
+        SLACKER_LOG_WARN << "migration session for tenant " << tenant_id_
+                         << " idle for " << options_.session_idle_timeout
+                         << "s; discarding staging instance";
+        status_ = Status::Aborted("migration source went silent");
+        if (staging_ != nullptr) {
+          ctx_->DeleteTenantOn(self_server_, tenant_id_);
+          staging_ = nullptr;
+        }
+        // Staged chunks stay in the durable store: a retried migration
+        // resumes from them.
+        MarkFinished();
+      });
 }
 
 void TargetSession::ArmDecisionProbe() {
@@ -592,8 +762,9 @@ void TargetSession::ArmDecisionProbe() {
                        << " inferred from directory";
       awaiting_decision_ = false;
       staging_->Unfreeze();
-      finished_ = true;
       status_ = Status::Ok();
+      if (store_ != nullptr) store_->EraseStaged(tenant_id_);
+      MarkFinished();
       return;
     }
     if (++decision_probes_ >= 30) {
@@ -601,12 +772,12 @@ void TargetSession::ArmDecisionProbe() {
       SLACKER_LOG_WARN << "handover for tenant " << tenant_id_
                        << " abandoned; discarding staging replica";
       awaiting_decision_ = false;
-      finished_ = true;
       status_ = Status::Aborted("handover abandoned");
       if (staging_ != nullptr) {
         ctx_->DeleteTenantOn(self_server_, tenant_id_);
         staging_ = nullptr;
       }
+      MarkFinished();
       return;
     }
     ArmDecisionProbe();
@@ -615,24 +786,78 @@ void TargetSession::ArmDecisionProbe() {
 
 void TargetSession::HandleMessage(const net::Message& message) {
   if (finished_) return;
+  ArmIdleTimer();
   switch (message.type) {
-    case net::MessageType::kSnapshotBegin:
-      return;
-    case net::MessageType::kSnapshotChunk: {
-      ApplyRows(message.rows, staging_->mutable_table());
-      rows_received_ += message.rows.size();
-      if (message.payload_bytes > 0) {
-        staging_->ChargeSequentialWrite(message.payload_bytes,
-                                        UINT64_MAX - 2, nullptr);
+    case net::MessageType::kSnapshotBegin: {
+      if (resumed_ && message.lsn != snap_start_lsn_) {
+        // The source could not honour our resume offer (its binlog no
+        // longer reaches back to the staged LSN) and is streaming a
+        // fresh snapshot: drop the rebuilt rows.
+        SLACKER_LOG_WARN << "tenant " << tenant_id_
+                         << " resume declined by source; restaging";
+        staging_->mutable_table()->Clear();
+        rows_received_ = 0;
+        resumed_ = false;
+        if (store_ != nullptr) store_->EraseStaged(tenant_id_);
+      }
+      snap_start_lsn_ = message.lsn;
+      expected_seq_ = 0;
+      end_seen_ = false;
+      total_chunks_ = 0;
+      last_nacked_seq_ = UINT64_MAX;
+      chunks_since_nack_ = 0;
+      if (store_ != nullptr) {
+        store_->EnsureStaged(tenant_id_, source_server_, wire_config_,
+                             snap_start_lsn_);
       }
       return;
     }
+    case net::MessageType::kSnapshotChunk: {
+      if (message.chunk_seq < expected_seq_) return;  // Duplicate.
+      if (message.chunk_seq > expected_seq_ ||
+          backup::ChunkCrc(message.rows) != message.chunk_crc) {
+        // Gap or corruption: ask the source to go back to the first
+        // chunk we cannot accept.
+        MaybeNack();
+        return;
+      }
+      last_nacked_seq_ = UINT64_MAX;
+      chunks_since_nack_ = 0;
+      expected_seq_ = message.chunk_seq + 1;
+      ApplyRows(message.rows, staging_->mutable_table());
+      rows_received_ += message.rows.size();
+      const uint64_t payload = std::max<uint64_t>(message.payload_bytes, 1);
+      auto rows = message.rows;
+      staging_->ChargeSequentialWrite(
+          payload, kStagingStreamId,
+          [this, alive = std::weak_ptr<bool>(alive_),
+           rows = std::move(rows),
+           payload = message.payload_bytes]() {
+            if (alive.expired()) return;
+            if (store_ == nullptr || rows.empty()) return;
+            // Durable only once the staging write hits disk: chunks
+            // still in the write queue at a crash are lost, and a
+            // resumed attempt re-requests them.
+            store_->EnsureStaged(tenant_id_, source_server_, wire_config_,
+                                 snap_start_lsn_);
+            store_->AppendStagedRows(tenant_id_, rows,
+                                     rows.back().key + 1, payload);
+          });
+      if (end_seen_ && expected_seq_ >= total_chunks_) SendSnapshotAck();
+      return;
+    }
     case net::MessageType::kSnapshotEnd: {
-      net::Message ack;
-      ack.type = net::MessageType::kSnapshotAck;
-      ack.tenant_id = tenant_id_;
-      ack.lsn = message.lsn;
-      ctx_->SendMessage(self_server_, source_server_, ack);
+      end_seen_ = true;
+      total_chunks_ = message.chunk_seq;
+      final_lsn_ = message.lsn;
+      if (expected_seq_ >= total_chunks_) {
+        SendSnapshotAck();
+      } else {
+        // The stream ended with a hole; NACK unconditionally — there
+        // are no further arrivals to trip the rate limiter.
+        last_nacked_seq_ = UINT64_MAX;
+        MaybeNack();
+      }
       return;
     }
     case net::MessageType::kDeltaBatch: {
@@ -659,18 +884,26 @@ void TargetSession::HandleMessage(const net::Message& message) {
     }
     case net::MessageType::kMigrateAbort: {
       // Source cancelled: discard the staging instance quietly (no
-      // echo — the source job has already finished).
-      finished_ = true;
+      // echo — the source job has already finished). The durably
+      // staged chunks are kept for a future resume.
       status_ = Status::Aborted(message.error);
       if (staging_ != nullptr) {
         ctx_->DeleteTenantOn(self_server_, tenant_id_);
         staging_ = nullptr;
       }
+      MarkFinished();
       return;
     }
     case net::MessageType::kHandoverRequest: {
       wal::Replay(message.log_records, staging_->mutable_table());
       staging_->SyncCursorsAfterIngest(message.lsn);
+      if (store_ != nullptr) {
+        // The staging data directory is complete on disk at this point;
+        // record it as this tenant's recovery image so a crash in the
+        // commit window restores the migrated state, not the stale
+        // pre-load baseline.
+        store_->SaveCheckpoint(engine::TakeCheckpoint(*staging_));
+      }
       // Stay frozen: authority only transfers once the source confirms
       // the digests agree (kHandoverCommit).
       net::Message ack;
@@ -685,8 +918,11 @@ void TargetSession::HandleMessage(const net::Message& message) {
     case net::MessageType::kHandoverCommit: {
       awaiting_decision_ = false;
       staging_->Unfreeze();
-      finished_ = true;
       status_ = Status::Ok();
+      // This replica is authoritative now; the staged-chunk record has
+      // served its purpose.
+      if (store_ != nullptr) store_->EraseStaged(tenant_id_);
+      MarkFinished();
       return;
     }
     default:

@@ -16,6 +16,7 @@
 #include "src/net/message.h"
 #include "src/resource/token_bucket.h"
 #include "src/sim/simulator.h"
+#include "src/slacker/durable_store.h"
 #include "src/slacker/options.h"
 #include "src/slacker/tenant_directory.h"
 #include "src/slacker/throttle_policy.h"
@@ -43,6 +44,23 @@ class MigrationContext {
                            const net::Message& message) = 0;
   virtual control::LatencyMonitor* MonitorOn(uint64_t server_id) = 0;
   virtual TenantDirectory* directory() = 0;
+  /// The crash-surviving store of `server_id`, or nullptr when the
+  /// context has no durability model (snapshot staging then can't
+  /// resume across restarts, only within one incarnation).
+  virtual DurableStore* DurableStoreOn(uint64_t /*server_id*/) {
+    return nullptr;
+  }
+};
+
+/// One try of a supervised migration (MigrationSupervisor fills these).
+struct MigrationAttempt {
+  int attempt = 0;
+  Status status;
+  SimTime start_time = 0.0;
+  SimTime end_time = 0.0;
+  /// Bytes the resume negotiation saved this attempt (already staged at
+  /// the target, not re-streamed).
+  uint64_t resumed_bytes = 0;
 };
 
 /// Everything measured about one migration.
@@ -72,6 +90,17 @@ struct MigrationReport {
   int delta_rounds = 0;
   /// Source and target state digests agreed at handover.
   bool digest_match = false;
+
+  /// Tries the supervisor made (1 for an unsupervised job).
+  int attempt_count = 1;
+  /// Bytes skipped thanks to kSnapshotResume (durably staged at the
+  /// target by earlier attempts; summed across attempts under a
+  /// supervisor).
+  uint64_t resumed_bytes = 0;
+  /// Chunks re-sent after target NACKs (gaps or CRC failures).
+  uint64_t chunks_retransmitted = 0;
+  /// Per-attempt outcomes when a MigrationSupervisor drove the job.
+  std::vector<MigrationAttempt> attempts;
 
   /// (time, MB/s) per controller tick.
   workload::TimeSeries throttle_series;
@@ -124,9 +153,14 @@ class MigrationJob {
   void EnterPhase(MigrationPhase phase);
   void StartController();
   void OnTick(SimTime now);
+  /// Target accepted; `message` is kMigrateAccept (fresh) or
+  /// kSnapshotResume (continue from the target's staged chunks).
+  void OnAccepted(bool resume_offer, const net::Message& message);
   void BeginSnapshot();
   void PumpSnapshot();
   void OnSnapshotDrained();
+  /// Target reported a gap or corrupt chunk: go-back-N to `chunk_seq`.
+  void OnSnapshotNack(const net::Message& message);
   void BeginPrepare();
   void BeginDeltaRounds();
   void ShipNextDelta();
@@ -135,10 +169,10 @@ class MigrationJob {
   void OnHandoverAck(const net::Message& message);
   void Finish(Status status);
   void ArmWatchdog(SimTime delay);
-  /// Watchdog escalation once the handover itself is stuck (lost ack):
-  /// abort without the Cancel() phase guard. Safe because no commit
+  /// Abort without the Cancel() phase guard (watchdog escalation on a
+  /// stuck handover, overload bail-out). Safe because no commit
   /// decision has been made while the job is unfinished.
-  void ForceAbort(const std::string& reason);
+  void ForceAbort(Status status);
 
   MigrationContext* ctx_;
   sim::Simulator* sim_;
@@ -165,6 +199,13 @@ class MigrationJob {
   int handover_grace_checks_ = 0;
   uint64_t source_digest_ = 0;
   bool finished_ = false;
+  /// Resume negotiation (kSnapshotResume accepted).
+  bool resuming_ = false;
+  storage::Lsn resume_lsn_ = 0;
+  uint64_t resume_key_ = 0;
+  int retransmit_rounds_ = 0;
+  /// Consecutive over-threshold controller ticks (overload bail-out).
+  int overload_strikes_ = 0;
 
   // Expires when the job is destroyed; async callbacks routed through
   // external resources (disk queues, CPU queues, freeze waiters) check
@@ -184,9 +225,10 @@ class TargetSession {
                 uint64_t source_server, const net::Message& request,
                 const MigrationOptions& options);
 
-  /// Sends kMigrateAccept (staging instance ready) or kMigrateAbort
-  /// (e.g., the tenant already exists here). Call once after
-  /// construction.
+  /// Sends kMigrateAccept (staging instance ready), kSnapshotResume
+  /// (staging rebuilt from durably staged chunks of an earlier attempt)
+  /// or kMigrateAbort (e.g., the tenant already exists here). Call once
+  /// after construction.
   void ReplyToRequest();
 
   void HandleMessage(const net::Message& message);
@@ -194,9 +236,27 @@ class TargetSession {
   bool finished() const { return finished_; }
   uint64_t tenant_id() const { return tenant_id_; }
   Status status() const { return status_; }
+  bool resumed() const { return resumed_; }
+  uint64_t chunks_nacked() const { return chunks_nacked_; }
+
+  /// Fires whenever the session finishes outside a HandleMessage call
+  /// (idle timeout, decision probe) so the owning controller can reap
+  /// it. May fire more than once; reaping must be idempotent.
+  void set_on_finished(std::function<void()> cb) {
+    on_finished_ = std::move(cb);
+  }
 
  private:
   void Abort(const Status& status);
+  void MarkFinished();
+  /// NACK the first missing/corrupt seq, rate-limited so a burst of
+  /// out-of-order chunks doesn't trigger a NACK storm.
+  void MaybeNack();
+  void SendSnapshotAck();
+  /// Re-arms on every message; firing means the source went silent
+  /// (crashed mid-stream) — discard the staging instance but keep the
+  /// durably staged chunks for a future resume.
+  void ArmIdleTimer();
   /// After sending the handover ack, the commit (or abort) message may
   /// be lost. The frontend directory is the decision record — the
   /// source updates it *before* sending commit — so the session polls
@@ -209,12 +269,28 @@ class TargetSession {
   uint64_t source_server_;
   uint64_t tenant_id_;
   MigrationOptions options_;
+  net::TenantWireConfig wire_config_;
+  DurableStore* store_ = nullptr;
   engine::TenantDb* staging_ = nullptr;
   uint64_t rows_received_ = 0;
   bool finished_ = false;
   bool awaiting_decision_ = false;
   int decision_probes_ = 0;
   Status status_;
+  std::function<void()> on_finished_;
+
+  /// Reassembly state: chunks must arrive in seq order with a valid
+  /// CRC; anything else is NACKed and the source goes back to the gap.
+  bool resumed_ = false;
+  storage::Lsn snap_start_lsn_ = 0;
+  uint64_t expected_seq_ = 0;
+  bool end_seen_ = false;
+  uint64_t total_chunks_ = 0;
+  storage::Lsn final_lsn_ = 0;
+  uint64_t last_nacked_seq_ = UINT64_MAX;
+  int chunks_since_nack_ = 0;
+  uint64_t chunks_nacked_ = 0;
+  uint64_t idle_generation_ = 0;
   /// See MigrationJob::alive_.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -51,9 +51,13 @@ void MigrationController::HandleMessage(uint64_t from_server,
     auto session = std::make_unique<TargetSession>(
         ctx_, server_id_, from_server, message, incoming_options_);
     TargetSession* raw = session.get();
-    sessions_[message.tenant_id] = std::move(session);
+    const uint64_t tenant_id = message.tenant_id;
+    // Sessions can finish outside HandleMessage (idle timeout, decision
+    // probe); have them reap themselves.
+    raw->set_on_finished([this, tenant_id] { ReapSession(tenant_id); });
+    sessions_[tenant_id] = std::move(session);
     raw->ReplyToRequest();
-    if (raw->finished()) ReapSession(message.tenant_id);
+    if (raw->finished()) ReapSession(tenant_id);
     return;
   }
 
@@ -93,6 +97,8 @@ void MigrationController::HandleMessage(uint64_t from_server,
       return;
     }
     case net::MessageType::kMigrateAccept:
+    case net::MessageType::kSnapshotResume:
+    case net::MessageType::kSnapshotNack:
     case net::MessageType::kSnapshotAck:
     case net::MessageType::kDeltaAck:
     case net::MessageType::kHandoverAck: {

@@ -29,6 +29,18 @@ Status MigrationOptions::Validate() const {
   if (max_inflight_chunks <= 0) {
     return Status::InvalidArgument("max_inflight_chunks must be positive");
   }
+  if (max_chunk_retransmits < 0) {
+    return Status::InvalidArgument("max_chunk_retransmits must be >= 0");
+  }
+  if (overload_abort_ms < 0.0) {
+    return Status::InvalidArgument("overload_abort_ms must be >= 0");
+  }
+  if (overload_abort_ticks <= 0) {
+    return Status::InvalidArgument("overload_abort_ticks must be positive");
+  }
+  if (session_idle_timeout < 0.0) {
+    return Status::InvalidArgument("session_idle_timeout must be >= 0");
+  }
   return Status::Ok();
 }
 

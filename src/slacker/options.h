@@ -83,6 +83,28 @@ struct MigrationOptions {
   /// slot forever.
   SimTime timeout_seconds = 0.0;
 
+  /// Offer/accept kSnapshotResume: a retried migration to the same
+  /// target continues from the last durably staged chunk instead of
+  /// re-streaming the whole tenant.
+  bool allow_resume = true;
+  /// Source-side cap on NACK-triggered chunk retransmissions before the
+  /// job gives up (a persistently corrupting path never converges).
+  int max_chunk_retransmits = 64;
+
+  /// Graceful degradation (source side): if the target's windowed
+  /// latency stays above this for `overload_abort_ticks` consecutive
+  /// controller ticks during the snapshot, abort with the retryable
+  /// kTargetOverloaded instead of grinding at the throttle floor.
+  /// 0 disables.
+  double overload_abort_ms = 0.0;
+  int overload_abort_ticks = 3;
+
+  /// Target side: a staging session that hears nothing from the source
+  /// for this long self-destructs (the source crashed mid-stream and
+  /// its job died with it). Staged chunks stay on disk for resume.
+  /// 0 disables.
+  SimTime session_idle_timeout = 45.0;
+
   Status Validate() const;
 };
 

@@ -37,4 +37,15 @@ Status Replay(const std::vector<LogRecord>& records, storage::BTree* table,
   return Status::Ok();
 }
 
+Status ReplayBinlog(const Binlog& log, storage::Lsn from,
+                    storage::BTree* table, ReplayStats* stats) {
+  if (log.last_lsn() < from) {
+    if (stats != nullptr) *stats = ReplayStats{};
+    return Status::Ok();  // Nothing newer than the recovery point.
+  }
+  std::vector<LogRecord> records;
+  SLACKER_RETURN_IF_ERROR(log.ReadRange(from, log.last_lsn(), &records));
+  return Replay(records, table, stats);
+}
+
 }  // namespace slacker::wal

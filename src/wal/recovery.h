@@ -6,6 +6,7 @@
 
 #include "src/common/status.h"
 #include "src/storage/btree.h"
+#include "src/wal/binlog.h"
 #include "src/wal/log_record.h"
 
 namespace slacker::wal {
@@ -25,6 +26,13 @@ struct ReplayStats {
 /// backup's prepare step and the delta rounds rely on).
 Status Replay(const std::vector<LogRecord>& records, storage::BTree* table,
               ReplayStats* stats = nullptr);
+
+/// Replays the binlog suffix with lsn >= `from` into `table` — the
+/// restart-after-crash path when no checkpoint image exists (the
+/// initial Load() acts as the implicit LSN-0 checkpoint). Fails if the
+/// log no longer retains `from` (purged).
+Status ReplayBinlog(const Binlog& log, storage::Lsn from,
+                    storage::BTree* table, ReplayStats* stats = nullptr);
 
 }  // namespace slacker::wal
 

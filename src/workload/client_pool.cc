@@ -62,9 +62,15 @@ void ClientPool::Dispatch(PendingTxn txn) {
   ++txn.attempts;
   engine::TenantDb* db = resolver_->Resolve(txn.spec.tenant_id);
   if (db == nullptr) {
-    // No mapping (tenant being created/deleted); retry shortly.
+    // No instance to serve this tenant (host crashed, or it is being
+    // created/deleted). Back off exponentially: a restart takes
+    // seconds, and hammering the resolver every 10 ms would burn the
+    // whole attempt budget before the host returns.
+    const double backoff =
+        std::min(0.01 * static_cast<double>(1 << std::min(txn.attempts, 10)),
+                 1.0);
     --busy_clients_;
-    sim_->After(0.01, [this, txn = std::move(txn)]() mutable {
+    sim_->After(backoff, [this, txn = std::move(txn)]() mutable {
       ++busy_clients_;
       engine::TxnResult result;
       result.status = Status::Unavailable("no tenant mapping");

@@ -98,7 +98,10 @@ class ClientPool {
   void StartClosedClients();
   void ClosedClientLoop();
 
-  static constexpr int kMaxAttempts = 8;
+  /// With the exponential resolve backoff (10 ms doubling, capped at
+  /// 1 s) this rides out ~10 s of a tenant having no authoritative
+  /// instance — a crashed host restarting, or a handover window.
+  static constexpr int kMaxAttempts = 16;
 
   sim::Simulator* sim_;
   YcsbWorkload* workload_;
