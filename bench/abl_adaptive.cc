@@ -20,7 +20,7 @@ struct AblResult {
 
 // disk_scale < 1 = slower disk (more sensitive plant).
 AblResult Run(ThrottleKind kind, double disk_scale) {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kEvaluation;
   Testbed bed(options);
   // Throttle the server's disk to emulate a different hardware class.
@@ -51,7 +51,9 @@ AblResult Run(ThrottleKind kind, double disk_scale) {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 

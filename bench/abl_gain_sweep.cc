@@ -21,7 +21,7 @@ struct GainResult {
 };
 
 GainResult Run(double kp, double ki, double kd) {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kEvaluation;
   Testbed bed(options);
   MigrationOptions migration = bed.BaseMigration();
@@ -46,7 +46,9 @@ GainResult Run(double kp, double ki, double kd) {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
 
   struct GainSet {

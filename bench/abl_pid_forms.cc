@@ -21,7 +21,7 @@ struct SurgeResult {
 };
 
 SurgeResult RunVelocityEndToEnd() {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kEvaluation;
   options.arrival_scale = 0.4;  // Quiet at first: controller saturates.
   Testbed bed(options);
@@ -56,7 +56,9 @@ SurgeResult RunVelocityEndToEnd() {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 

@@ -12,7 +12,7 @@ namespace {
 
 void Probe(PaperConfig config, const char* name) {
   std::printf("\n--- %s ---\n", name);
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = config;
   Testbed bed(options);
 
@@ -25,7 +25,7 @@ void Probe(PaperConfig config, const char* name) {
               bed.cluster()->TenantOn(0, 1)->buffer_pool()->HitRate());
 
   for (double rate : {4.0, 8.0, 12.0, 16.0, 20.0, 25.0}) {
-    ExperimentOptions opt2;
+    ExperimentOptions opt2 = FlagOptions();
     opt2.config = config;
     Testbed bed2(opt2);
     MigrationOptions mig = bed2.BaseMigration();
@@ -46,7 +46,9 @@ void Probe(PaperConfig config, const char* name) {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   slacker::bench::Probe(slacker::bench::PaperConfig::kCaseStudy,
                         "case study (256MB buffer, ~9 txn/s)");
   slacker::bench::Probe(slacker::bench::PaperConfig::kEvaluation,

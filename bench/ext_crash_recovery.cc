@@ -28,7 +28,7 @@ struct CrashRunResult {
 };
 
 CrashRunResult RunSupervised(bool inject_crash, bool allow_resume) {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kEvaluation;
   options.size_scale = 0.25;  // 256 MB tenant: minutes, not hours.
   options.warmup_seconds = 10.0;
@@ -143,7 +143,9 @@ double MeasureRecovery(bool with_checkpoint) {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
 
   PrintHeader("ext-crash-recovery (1/2)",

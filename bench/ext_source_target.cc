@@ -21,7 +21,7 @@ struct Result {
 };
 
 Result Run(bool use_target_latency) {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kEvaluation;
   Testbed bed(options);
 
@@ -69,7 +69,9 @@ Result Run(bool use_target_latency) {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
 
   Result source_only = Run(/*use_target_latency=*/false);

@@ -17,7 +17,7 @@ namespace slacker::bench {
 namespace {
 
 void RunBaselineCase() {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kCaseStudy;
   Testbed bed(options);
   const SimTime start = bed.sim()->Now();
@@ -35,7 +35,7 @@ void RunBaselineCase() {
 
 void RunThrottledCase(double mbps, const char* figure, const char* paper_avg,
                       const char* paper_duration) {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kCaseStudy;
   Testbed bed(options);
   MigrationOptions migration = bed.BaseMigration();
@@ -71,7 +71,9 @@ void RunThrottledCase(double mbps, const char* figure, const char* paper_avg,
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   RunBaselineCase();
   RunThrottledCase(4.0, "Figure 5b", "153 ms", "281 s total (256 s copy)");

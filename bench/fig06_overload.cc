@@ -10,11 +10,13 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kCaseStudy;
   Testbed bed(options);
   MigrationOptions migration = bed.BaseMigration();

@@ -9,7 +9,9 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 
@@ -26,7 +28,7 @@ int main() {
   double prev_avg = 0.0, prev_sd = 0.0;
   bool monotone_avg = true, monotone_sd = true;
   for (double rate : {0.0, 4.0, 8.0, 12.0}) {
-    ExperimentOptions options;
+    ExperimentOptions options = FlagOptions();
     options.config = PaperConfig::kCaseStudy;
     Testbed bed(options);
     PercentileTracker latencies;

@@ -16,7 +16,9 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 
@@ -26,7 +28,7 @@ int main() {
               "duration");
   double last_low_rate_latency = 0.0, top_rate_latency = 0.0;
   for (double rate : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
-    ExperimentOptions options;
+    ExperimentOptions options = FlagOptions();
     options.config = PaperConfig::kEvaluation;
     Testbed bed(options);
     MigrationOptions migration = bed.BaseMigration();
@@ -52,7 +54,7 @@ int main() {
               "avg latency", "duration");
   std::vector<double> speeds;
   for (double setpoint = 500.0; setpoint <= 5000.0; setpoint += 500.0) {
-    ExperimentOptions options;
+    ExperimentOptions options = FlagOptions();
     options.config = PaperConfig::kEvaluation;
     Testbed bed(options);
     MigrationOptions migration = bed.BaseMigration();

@@ -13,7 +13,9 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 
@@ -28,7 +30,7 @@ int main() {
     // --- Slacker run.
     double achieved = 0.0, slacker_sd = 0.0, speed = 0.0;
     {
-      ExperimentOptions options;
+      ExperimentOptions options = FlagOptions();
       options.config = PaperConfig::kEvaluation;
       Testbed bed(options);
       MigrationOptions migration = bed.BaseMigration();
@@ -49,7 +51,7 @@ int main() {
     // --- Fixed throttle at the speed Slacker achieved.
     double fixed_sd = 0.0, fixed_mean = 0.0;
     {
-      ExperimentOptions options;
+      ExperimentOptions options = FlagOptions();
       options.config = PaperConfig::kEvaluation;
       Testbed bed(options);
       MigrationOptions migration = bed.BaseMigration();

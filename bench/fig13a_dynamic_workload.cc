@@ -24,7 +24,7 @@ struct DynamicResult {
 };
 
 DynamicResult RunDynamic(bool use_pid, double fixed_rate) {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kEvaluation;
   // Busier than the base evaluation so the +40% genuinely removes the
   // remaining slack.
@@ -83,7 +83,9 @@ DynamicResult RunDynamic(bool use_pid, double fixed_rate) {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
 
   // Slacker first; the fixed run copies its pre-step speed (the

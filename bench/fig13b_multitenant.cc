@@ -21,7 +21,7 @@ struct MultiResult {
 };
 
 MultiResult Run(bool use_pid, double fixed_rate, double setpoint) {
-  ExperimentOptions options;
+  ExperimentOptions options = FlagOptions();
   options.config = PaperConfig::kEvaluation;
   options.tenants = 5;
   Testbed bed(options);
@@ -54,7 +54,9 @@ MultiResult Run(bool use_pid, double fixed_rate, double setpoint) {
 }  // namespace
 }  // namespace slacker::bench
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
 
   const double setpoint = 1000.0;

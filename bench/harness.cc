@@ -4,8 +4,61 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/csv_export.h"
 
 namespace slacker::bench {
+
+namespace {
+ExperimentOptions* GlobalFlagOptions() {
+  static ExperimentOptions options;
+  return &options;
+}
+}  // namespace
+
+ExperimentOptions FlagOptions() { return *GlobalFlagOptions(); }
+
+void ApplyCommandLine(int argc, char** argv, ExperimentOptions* options) {
+  auto value = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s (ignored)\n", argv[*i]);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--trace") == 0) {
+      if ((v = value(&i)) != nullptr) options->trace_path = v;
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      if ((v = value(&i)) != nullptr) options->csv_path = v;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if ((v = value(&i)) != nullptr)
+        options->seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--tenants") == 0) {
+      if ((v = value(&i)) != nullptr)
+        options->tenants = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--size-scale") == 0) {
+      if ((v = value(&i)) != nullptr)
+        options->size_scale = std::strtod(v, nullptr);
+    } else if (std::strcmp(arg, "--arrival-scale") == 0) {
+      if ((v = value(&i)) != nullptr)
+        options->arrival_scale = std::strtod(v, nullptr);
+    } else if (std::strcmp(arg, "--warmup") == 0) {
+      if ((v = value(&i)) != nullptr)
+        options->warmup_seconds = std::strtod(v, nullptr);
+    } else if (std::strcmp(arg, "--sla-ms") == 0) {
+      if ((v = value(&i)) != nullptr)
+        options->sla_threshold_ms = std::strtod(v, nullptr);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (ignored)\n", arg);
+    }
+  }
+  *GlobalFlagOptions() = *options;
+}
 
 ClusterOptions PaperClusterOptions() {
   ClusterOptions options;
@@ -47,7 +100,20 @@ double PaperInterarrival(PaperConfig config) {
 }
 
 Testbed::Testbed(const ExperimentOptions& options) : options_(options) {
+  if (!options.trace_path.empty() || !options.csv_path.empty()) {
+    tracer_ =
+        std::make_unique<obs::Tracer>([this] { return sim_.Now(); });
+  }
   cluster_ = std::make_unique<Cluster>(&sim_, PaperClusterOptions());
+  if (tracer_ != nullptr) {
+    // Before tenants exist, so their op metrics attach on creation.
+    cluster_->InstallTracer(tracer_.get());
+    cluster_->set_sla_threshold_ms(options.sla_threshold_ms);
+    collector_ = std::make_unique<MetricsCollector>(&sim_, cluster_.get(),
+                                                    /*period=*/1.0);
+    collector_->PublishTo(tracer_->registry());
+    collector_->Start();
+  }
   for (int i = 0; i < options.tenants; ++i) {
     const uint64_t id = i + 1;
     engine::TenantConfig tenant =
@@ -90,10 +156,42 @@ Testbed::Testbed(const ExperimentOptions& options) : options_(options) {
   sim_.RunUntil(options.warmup_seconds);
 }
 
-Testbed::~Testbed() { StopAll(); }
+Testbed::~Testbed() {
+  StopAll();
+  FinishObservability();
+}
 
 void Testbed::StopAll() {
   for (auto& pool : pools_) pool->Stop();
+}
+
+void Testbed::FinishObservability() {
+  if (tracer_ == nullptr) return;
+  if (collector_ != nullptr) collector_->Stop();
+  if (!options_.trace_path.empty()) {
+    const Status status =
+        obs::WriteChromeTrace(*tracer_, options_.trace_path);
+    if (status.ok()) {
+      std::printf("  (wrote trace %s — open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  options_.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (!options_.csv_path.empty()) {
+    const Status status =
+        obs::WriteCsv(*tracer_->registry(), options_.csv_path);
+    if (status.ok()) {
+      std::printf("  (wrote metrics %s)\n", options_.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "csv export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  cluster_->InstallTracer(nullptr);
+  tracer_.reset();
 }
 
 MigrationOptions Testbed::BaseMigration() const {

@@ -7,8 +7,10 @@
 
 #include "src/common/stats.h"
 #include "src/common/units.h"
+#include "src/obs/trace.h"
 #include "src/sla/sla.h"
 #include "src/slacker/cluster.h"
+#include "src/slacker/metrics.h"
 #include "src/workload/client_pool.h"
 #include "src/workload/trace.h"
 #include "src/workload/ycsb.h"
@@ -44,7 +46,31 @@ struct ExperimentOptions {
   SimTime warmup_seconds = 30.0;
   /// Shrink the tenant for quick smoke runs (1.0 = full 1 GB).
   double size_scale = 1.0;
+  /// When non-empty, the testbed installs a tracer and writes a Chrome
+  /// trace-event JSON (chrome://tracing / Perfetto) here at teardown.
+  std::string trace_path;
+  /// When non-empty, a 1 Hz MetricsCollector publishes per-tick series
+  /// (latency window, throttle rate, disk utilization...) to this CSV.
+  std::string csv_path;
+  /// Latency above which completed transactions emit SlaViolation
+  /// events (0 disables; only meaningful with a tracer installed).
+  double sla_threshold_ms = 0.0;
 };
+
+/// Parses the shared bench flags into `options`:
+///   --trace <path>  --csv <path>  --seed <n>  --tenants <n>
+///   --size-scale <x>  --arrival-scale <x>  --warmup <s>  --sla-ms <ms>
+/// Unknown flags warn and are ignored, so individual benches can keep
+/// their own defaults without argument-order coupling. The result is
+/// also remembered process-wide (see FlagOptions) for sweep benches
+/// that construct scenarios inside helper functions. When a sweep
+/// builds several testbeds with the same --trace/--csv paths, the last
+/// run's files win.
+void ApplyCommandLine(int argc, char** argv, ExperimentOptions* options);
+
+/// A copy of the options most recently parsed by ApplyCommandLine
+/// (plain defaults if it has not run yet).
+ExperimentOptions FlagOptions();
 
 /// A running testbed: cluster, tenants on server 0, and one client
 /// pool per tenant. Construction populates the tenants and runs the
@@ -61,6 +87,8 @@ class Testbed {
   int tenant_count() const { return static_cast<int>(pools_.size()); }
   uint64_t tenant_id(int i = 0) const { return i + 1; }
   const ExperimentOptions& options() const { return options_; }
+  /// Non-null when the options requested a trace or CSV.
+  obs::Tracer* tracer() { return tracer_.get(); }
 
   /// MigrationOptions preset matching the paper: chunked hot backup,
   /// 1 s controller tick, paper PID gains.
@@ -84,12 +112,19 @@ class Testbed {
 
   void StopAll();
 
+  /// Writes the trace/CSV outputs requested in the options (printing
+  /// the paths) and detaches the tracer. Called by the destructor;
+  /// call earlier to export before further simulation.
+  void FinishObservability();
+
  private:
   ExperimentOptions options_;
   sim::Simulator sim_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<Cluster> cluster_;
   std::vector<std::unique_ptr<workload::YcsbWorkload>> workloads_;
   std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+  std::unique_ptr<MetricsCollector> collector_;
 };
 
 /// Disk/CPU/link settings shared by both paper configs.

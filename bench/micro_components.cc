@@ -9,6 +9,7 @@
 #include "src/common/random.h"
 #include "src/control/pid.h"
 #include "src/net/message.h"
+#include "src/obs/trace.h"
 #include "src/resource/token_bucket.h"
 #include "src/sim/simulator.h"
 #include "src/storage/btree.h"
@@ -126,6 +127,56 @@ void BM_EventQueueChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventQueueChurn);
+
+// The observability overhead guard: instrumentation is compiled in
+// unconditionally, so the disabled path (a null tracer — every call
+// site's default) must cost next to nothing compared to the enabled
+// path, which copies the track/name strings and records a span.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::Tracer* tracer = nullptr;
+  for (auto _ : state) {
+    obs::TraceSpan span(tracer, "tenant 1 migration", "delta round", "delta");
+    span.AddArg("bytes", 4096.0);
+    span.AddNote("status", "OK");
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::Tracer tracer([] { return 1.0; });
+  size_t recorded = 0;
+  for (auto _ : state) {
+    {
+      obs::TraceSpan span(&tracer, "tenant 1 migration", "delta round",
+                          "delta");
+      span.AddArg("bytes", 4096.0);
+      span.AddNote("status", "OK");
+    }
+    // Keep the buffer bounded so the benchmark measures recording, not
+    // vector growth over millions of iterations.
+    if (tracer.spans().size() >= 4096) {
+      recorded += tracer.spans().size();
+      tracer.Clear();
+    }
+  }
+  benchmark::DoNotOptimize(recorded);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanEnabled);
+
+void BM_MetricCounterIncrement(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  obs::Counter* counter =
+      registry.FindOrCreateCounter("migration_delta_bytes", "tenant=1");
+  for (auto _ : state) {
+    counter->Add(4096);
+  }
+  benchmark::DoNotOptimize(counter->value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricCounterIncrement);
 
 void BM_TokenBucketGrants(benchmark::State& state) {
   for (auto _ : state) {

@@ -9,7 +9,9 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 
@@ -32,7 +34,7 @@ int main() {
 
   bool snapshot_dominates = true, handover_subsecond = true;
   for (const Scenario& s : scenarios) {
-    ExperimentOptions options;
+    ExperimentOptions options = FlagOptions();
     options.config = PaperConfig::kEvaluation;
     Testbed bed(options);
     if (s.write_scale != 1.0) {

@@ -9,7 +9,9 @@
 #include "bench/harness.h"
 #include "src/slacker/stop_and_copy.h"
 
-int main() {
+int main(int argc, char** argv) {
+  slacker::bench::ExperimentOptions flags;
+  slacker::bench::ApplyCommandLine(argc, argv, &flags);
   using namespace slacker::bench;
   using namespace slacker;
 
@@ -23,7 +25,7 @@ int main() {
   for (double gig : {0.125, 0.25, 0.5}) {
     double file_ms = 0.0, dump_ms = 0.0, live_ms = 0.0;
     for (int mode = 0; mode < 3; ++mode) {
-      ExperimentOptions options;
+      ExperimentOptions options = FlagOptions();
       options.config = PaperConfig::kEvaluation;
       options.size_scale = gig;
       options.warmup_seconds = 10.0;

@@ -11,6 +11,8 @@
 
 #include <cstdio>
 
+#include "src/obs/chrome_trace.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/slacker/cluster.h"
 #include "src/workload/client_pool.h"
@@ -19,11 +21,14 @@
 using namespace slacker;
 
 int main() {
-  // --- 1. A simulated two-server testbed.
+  // --- 1. A simulated two-server testbed, with a tracer recording
+  //        every migration phase, throttle decision, and fault.
   sim::Simulator sim;
+  obs::Tracer tracer([&sim] { return sim.Now(); });
   ClusterOptions cluster_options;
   cluster_options.num_servers = 2;
   Cluster cluster(&sim, cluster_options);
+  cluster.InstallTracer(&tracer);
 
   // --- 2. One tenant: 128 MiB of 1 KiB rows, 16 MiB buffer pool.
   engine::TenantConfig tenant;
@@ -92,5 +97,20 @@ int main() {
               static_cast<unsigned long long>(clients.stats().completed),
               clients.latencies().Mean(), clients.latencies().Percentile(99),
               static_cast<unsigned long long>(clients.stats().failed));
+
+  // --- 6. Export the trace: one row per migration/supervisor/server
+  //        track, spans for every phase, instants for every throttle
+  //        decision. Load it in chrome://tracing or ui.perfetto.dev.
+  const std::string trace_path = "quickstart_trace.json";
+  const Status trace_status = obs::WriteChromeTrace(tracer, trace_path);
+  if (trace_status.ok()) {
+    std::printf("trace:           %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "WriteChromeTrace: %s\n",
+                 trace_status.ToString().c_str());
+  }
+  cluster.InstallTracer(nullptr);
   return report.status.ok() && report.digest_match ? 0 : 1;
 }

@@ -23,6 +23,8 @@ Result<DeltaRound> DeltaShipper::ReadRound() {
   round.bytes = source_log_->BytesInRange(round.from, round.to);
   ++rounds_shipped_;
   bytes_shipped_ += round.bytes;
+  if (rounds_counter_ != nullptr) rounds_counter_->Add();
+  if (bytes_counter_ != nullptr) bytes_counter_->Add(round.bytes);
   return round;
 }
 

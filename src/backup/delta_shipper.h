@@ -6,6 +6,7 @@
 
 #include "src/common/status.h"
 #include "src/engine/tenant_db.h"
+#include "src/obs/metric_registry.h"
 #include "src/wal/binlog.h"
 #include "src/wal/recovery.h"
 
@@ -45,11 +46,20 @@ class DeltaShipper {
   int rounds_shipped() const { return rounds_shipped_; }
   uint64_t bytes_shipped() const { return bytes_shipped_; }
 
+  /// Mirrors rounds/bytes shipped into registry counters; nullptrs
+  /// detach. Off by default.
+  void AttachObs(obs::Counter* rounds, obs::Counter* bytes) {
+    rounds_counter_ = rounds;
+    bytes_counter_ = bytes;
+  }
+
  private:
   const wal::Binlog* source_log_;
   storage::Lsn applied_lsn_;
   int rounds_shipped_ = 0;
   uint64_t bytes_shipped_ = 0;
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
 };
 
 }  // namespace slacker::backup

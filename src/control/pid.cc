@@ -27,6 +27,9 @@ void PidController::Reset(double initial_output) {
   integral_ = 0.0;
   prev_error_ = 0.0;
   prev_prev_error_ = 0.0;
+  last_p_ = 0.0;
+  last_i_ = 0.0;
+  last_d_ = 0.0;
   steps_ = 0;
 }
 
@@ -47,20 +50,21 @@ double PidController::Update(double process_variable, double dt) {
       integral_ = std::clamp(integral_, floor - std::abs(floor), cap);
     }
     const double derivative = steps_ == 0 ? 0.0 : (error - prev_error_) / dt;
-    output_ = Clamp(config_.kp * error + config_.ki * integral_ +
-                    config_.kd * derivative);
+    last_p_ = config_.kp * error;
+    last_i_ = config_.ki * integral_;
+    last_d_ = config_.kd * derivative;
+    output_ = Clamp(last_p_ + last_i_ + last_d_);
   } else {
     // Velocity algorithm: no error sum, output moves by a delta. On the
     // very first step there is no error history, so only the integral
     // path contributes (Δe terms need previous samples).
-    double delta = config_.ki * error * dt;
-    if (steps_ >= 1) {
-      delta += config_.kp * (error - prev_error_);
-    }
-    if (steps_ >= 2) {
-      delta += config_.kd * (error - 2.0 * prev_error_ + prev_prev_error_) / dt;
-    }
-    output_ = Clamp(output_ + delta);
+    last_i_ = config_.ki * error * dt;
+    last_p_ = steps_ >= 1 ? config_.kp * (error - prev_error_) : 0.0;
+    last_d_ = steps_ >= 2
+                  ? config_.kd * (error - 2.0 * prev_error_ + prev_prev_error_) /
+                        dt
+                  : 0.0;
+    output_ = Clamp(output_ + last_p_ + last_i_ + last_d_);
   }
 
   prev_prev_error_ = prev_error_;

@@ -59,6 +59,13 @@ class PidController {
   /// Integral accumulator (positional form only).
   double integral() const { return integral_; }
 
+  /// Per-term contributions from the most recent Update(): the term
+  /// values in positional form, the per-step deltas in velocity form.
+  /// For tracing controller behavior, not for control decisions.
+  double last_p() const { return last_p_; }
+  double last_i() const { return last_i_; }
+  double last_d() const { return last_d_; }
+
   /// Updates the setpoint mid-flight (e.g., SLA renegotiation).
   void set_setpoint(double setpoint) { config_.setpoint = setpoint; }
 
@@ -71,6 +78,9 @@ class PidController {
   double integral_ = 0.0;
   double prev_error_ = 0.0;
   double prev_prev_error_ = 0.0;
+  double last_p_ = 0.0;
+  double last_i_ = 0.0;
+  double last_d_ = 0.0;
   int steps_ = 0;
 };
 

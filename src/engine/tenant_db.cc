@@ -55,7 +55,14 @@ void TenantDb::ExecuteOp(const Operation& op, OpCallback done) {
 uint64_t TenantDb::RegisterOp(OpCallback done) {
   const uint64_t token = next_op_token_++;
   pending_done_[token] = std::move(done);
+  if (op_latency_hist_ != nullptr) op_start_[token] = sim_->Now();
   return token;
+}
+
+void TenantDb::AttachObs(obs::Histogram* op_latency_ms, obs::Counter* ops) {
+  op_latency_hist_ = op_latency_ms;
+  ops_counter_ = ops;
+  if (op_latency_hist_ == nullptr) op_start_.clear();
 }
 
 void TenantDb::StartOp(const Operation& op, OpCallback done) {
@@ -154,6 +161,14 @@ void TenantDb::FinishOp(const Operation& op, uint64_t token) {
   if (it == pending_done_.end()) return;  // Claimed by FailInFlight.
   OpCallback done = std::move(it->second);
   pending_done_.erase(it);
+  if (op_latency_hist_ != nullptr) {
+    auto start = op_start_.find(token);
+    if (start != op_start_.end()) {
+      op_latency_hist_->Observe(MsFromSeconds(sim_->Now() - start->second));
+      op_start_.erase(start);
+    }
+  }
+  if (ops_counter_ != nullptr) ops_counter_->Add();
   WrittenRow written;
   Status status = Status::Ok();
   if (op.type == OpType::kRead) {
@@ -267,6 +282,7 @@ void TenantDb::FailQueued() {
 void TenantDb::FailInFlight(const Status& status) {
   auto pending = std::move(pending_done_);
   pending_done_.clear();
+  op_start_.clear();
   in_flight_ = 0;
   for (auto& [token, done] : pending) {
     if (!done) continue;

@@ -11,6 +11,7 @@
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/engine/tenant_config.h"
+#include "src/obs/metric_registry.h"
 #include "src/resource/cpu.h"
 #include "src/resource/disk.h"
 #include "src/sim/simulator.h"
@@ -160,6 +161,12 @@ class TenantDb {
   size_t queued_ops() const { return frozen_queue_.size(); }
   int in_flight() const { return in_flight_; }
 
+  /// Hooks engine-level metrics into an observability registry: every
+  /// completed operation observes its start-to-finish latency (ms) and
+  /// bumps the op counter. Pass nullptrs to detach. Off (no per-op
+  /// bookkeeping at all) unless attached.
+  void AttachObs(obs::Histogram* op_latency_ms, obs::Counter* ops);
+
  private:
   struct PendingOp {
     Operation op;
@@ -203,6 +210,10 @@ class TenantDb {
 
   uint64_t next_op_token_ = 1;
   std::map<uint64_t, OpCallback> pending_done_;
+  /// Observability (inert unless AttachObs was called).
+  obs::Histogram* op_latency_hist_ = nullptr;
+  obs::Counter* ops_counter_ = nullptr;
+  std::map<uint64_t, SimTime> op_start_;
   /// Expires when the instance is destroyed (server crash / tenant
   /// delete); continuations routed through the shared disk/CPU check it
   /// before touching `this`, so a crash can destroy the db while its

@@ -1,0 +1,177 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+namespace slacker::obs {
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Microseconds with fixed precision so output is byte-stable.
+void AppendMicros(SimTime seconds, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  *out += buf;
+}
+
+void AppendNumber(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendArgs(const std::vector<std::pair<std::string, double>>& args,
+                const std::vector<std::pair<std::string, std::string>>& notes,
+                std::string* out) {
+  *out += "\"args\":{";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    AppendEscaped(key, out);
+    *out += "\":";
+    AppendNumber(value, out);
+  }
+  for (const auto& [key, value] : notes) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    AppendEscaped(key, out);
+    *out += "\":\"";
+    AppendEscaped(value, out);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+/// Maps each track name to a stable small thread id, in first-appearance
+/// order (spans first, then events), so the viewer row order follows
+/// the order the simulation touched the tracks.
+class TrackIds {
+ public:
+  explicit TrackIds(const Tracer& tracer) {
+    for (const SpanRecord& span : tracer.spans()) Intern(span.track);
+    for (const Event& event : tracer.events()) Intern(event.track);
+  }
+
+  int Tid(const std::string& track) const { return ids_.at(track); }
+  const std::vector<std::string>& ordered() const { return ordered_; }
+
+ private:
+  void Intern(const std::string& track) {
+    if (ids_.emplace(track, static_cast<int>(ordered_.size()) + 1).second) {
+      ordered_.push_back(track);
+    }
+  }
+
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> ordered_;
+};
+
+}  // namespace
+
+std::string ToChromeTraceJson(const Tracer& tracer) {
+  const TrackIds tracks(tracer);
+  std::string out;
+  out.reserve(256 + 160 * (tracer.spans().size() + tracer.events().size()));
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&first, &out] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  // Thread-name metadata: one row per track.
+  for (size_t i = 0; i < tracks.ordered().size(); ++i) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(i + 1);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    AppendEscaped(tracks.ordered()[i], &out);
+    out += "\"}}";
+  }
+
+  for (const SpanRecord& span : tracer.spans()) {
+    comma();
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(tracks.Tid(span.track));
+    out += ",\"name\":\"";
+    AppendEscaped(span.name, &out);
+    out += "\",\"cat\":\"";
+    AppendEscaped(span.category, &out);
+    out += "\",\"ts\":";
+    AppendMicros(span.begin, &out);
+    out += ",\"dur\":";
+    AppendMicros(span.end - span.begin, &out);
+    out += ',';
+    AppendArgs(span.args, span.notes, &out);
+    out += '}';
+  }
+
+  for (const Event& event : tracer.events()) {
+    comma();
+    if (event.kind == EventKind::kCounter) {
+      out += "{\"ph\":\"C\",\"pid\":1,\"tid\":";
+    } else {
+      out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":";
+    }
+    out += std::to_string(tracks.Tid(event.track));
+    out += ",\"name\":\"";
+    AppendEscaped(event.name, &out);
+    out += "\",\"cat\":\"";
+    AppendEscaped(event.category, &out);
+    out += "\",\"ts\":";
+    AppendMicros(event.time, &out);
+    out += ',';
+    AppendArgs(event.args, event.notes, &out);
+    out += '}';
+  }
+
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::Internal("cannot open trace file: " + path);
+  }
+  const std::string json = ToChromeTraceJson(tracer);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.flush();
+  if (!file) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace slacker::obs

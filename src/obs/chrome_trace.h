@@ -1,0 +1,24 @@
+#ifndef SLACKER_OBS_CHROME_TRACE_H_
+#define SLACKER_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/trace.h"
+
+namespace slacker::obs {
+
+/// Renders the tracer's spans and events as Chrome trace-event JSON,
+/// loadable in chrome://tracing or https://ui.perfetto.dev. Tracks map
+/// to thread rows (named via metadata events); spans become "X"
+/// duration events, instants "i", counter samples "C". Timestamps are
+/// simulated microseconds. Output is deterministic: given identical
+/// tracer contents, the bytes are identical.
+std::string ToChromeTraceJson(const Tracer& tracer);
+
+/// Writes ToChromeTraceJson(tracer) to `path`.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace slacker::obs
+
+#endif  // SLACKER_OBS_CHROME_TRACE_H_

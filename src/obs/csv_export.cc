@@ -1,0 +1,94 @@
+#include "src/obs/csv_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace slacker::obs {
+namespace {
+
+void AppendTime(SimTime t, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", t);
+  *out += buf;
+}
+
+void AppendValue(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendRow(SimTime t, const std::string& metric, double value,
+               std::string* out) {
+  AppendTime(t, out);
+  *out += ",\"";
+  // Metric names never contain quotes; labels use key=value pairs.
+  *out += metric;
+  *out += "\",";
+  AppendValue(value, out);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string ToCsv(const MetricRegistry& registry) {
+  const std::vector<MetricRegistry::Entry> entries = registry.Entries();
+
+  // Gather (time, registration order) keyed rows, then sort so the file
+  // reads chronologically with a stable within-tick metric order.
+  struct Row {
+    SimTime time;
+    size_t order;
+    double value;
+  };
+  std::vector<Row> rows;
+  SimTime last_sample = 0.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const MetricSeries* series = entries[i].series;
+    if (series == nullptr) continue;
+    for (const auto& [time, value] : series->points) {
+      rows.push_back(Row{time, i, value});
+      if (time > last_sample) last_sample = time;
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+
+  std::string out = "time_s,metric,value\n";
+  out.reserve(out.size() + 48 * rows.size());
+  for (const Row& row : rows) {
+    AppendRow(row.time, entries[row.order].full_name, row.value, &out);
+  }
+
+  // Histogram summaries: whole-run distributions, not time series.
+  for (const MetricRegistry::Entry& entry : entries) {
+    if (entry.kind != MetricRegistry::Kind::kHistogram) continue;
+    const Histogram& h = *entry.histogram;
+    AppendRow(last_sample, entry.full_name + ".count",
+              static_cast<double>(h.count()), &out);
+    AppendRow(last_sample, entry.full_name + ".mean", h.Mean(), &out);
+    AppendRow(last_sample, entry.full_name + ".p95", h.Percentile(95.0), &out);
+    AppendRow(last_sample, entry.full_name + ".max", h.max(), &out);
+  }
+  return out;
+}
+
+Status WriteCsv(const MetricRegistry& registry, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::Internal("cannot open csv file: " + path);
+  }
+  const std::string csv = ToCsv(registry);
+  file.write(csv.data(), static_cast<std::streamsize>(csv.size()));
+  file.flush();
+  if (!file) {
+    return Status::Internal("short write to csv file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace slacker::obs

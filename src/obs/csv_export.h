@@ -1,0 +1,28 @@
+#ifndef SLACKER_OBS_CSV_EXPORT_H_
+#define SLACKER_OBS_CSV_EXPORT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/metric_registry.h"
+
+namespace slacker::obs {
+
+/// Renders every sampled counter/gauge series as long-format CSV:
+///
+///   time_s,metric,value
+///   1.000,"disk_util{server=0}",0.42
+///
+/// Rows are sorted by (time, registration order), so plotting tools can
+/// pivot on `metric` directly. Deterministic: identical registries
+/// produce identical bytes. Histograms are summarized at the end as
+/// `<name>.count/.mean/.p95/.max` rows stamped with the last sample
+/// time (0 if nothing was sampled).
+std::string ToCsv(const MetricRegistry& registry);
+
+/// Writes ToCsv(registry) to `path`.
+Status WriteCsv(const MetricRegistry& registry, const std::string& path);
+
+}  // namespace slacker::obs
+
+#endif  // SLACKER_OBS_CSV_EXPORT_H_

@@ -1,0 +1,134 @@
+#include "src/obs/events.h"
+
+#include <utility>
+
+namespace slacker::obs {
+namespace {
+
+bool Off(const Tracer* tracer) {
+  return tracer == nullptr || !tracer->enabled();
+}
+
+Event MakeInstant(const Tracer* tracer, std::string track, std::string name,
+                  std::string category) {
+  Event event;
+  event.kind = EventKind::kInstant;
+  event.track = std::move(track);
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.time = tracer->NowSim();
+  return event;
+}
+
+}  // namespace
+
+std::string MigrationTrack(uint64_t tenant_id) {
+  return "tenant " + std::to_string(tenant_id) + " migration";
+}
+
+std::string SupervisorTrack(uint64_t tenant_id) {
+  return "tenant " + std::to_string(tenant_id) + " supervisor";
+}
+
+std::string ServerTrack(uint64_t server_id) {
+  return "server " + std::to_string(server_id);
+}
+
+void EmitPhaseTransition(Tracer* tracer, const PhaseTransition& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id),
+                            "phase:" + e.to, "migration");
+  event.args.emplace_back("tenant", static_cast<double>(e.tenant_id));
+  event.args.emplace_back("source", static_cast<double>(e.source_server));
+  event.args.emplace_back("target", static_cast<double>(e.target_server));
+  event.notes.emplace_back("from", e.from);
+  event.notes.emplace_back("to", e.to);
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitThrottleUpdate(Tracer* tracer, const ThrottleUpdate& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id), "throttle",
+                            "control");
+  event.args.emplace_back("rate_mbps", e.rate_mbps);
+  event.args.emplace_back("latency_ms", e.latency_ms);
+  if (e.has_pid_terms) {
+    event.args.emplace_back("setpoint_ms", e.setpoint_ms);
+    event.args.emplace_back("error_ms", e.error_ms);
+    event.args.emplace_back("p", e.p);
+    event.args.emplace_back("i", e.i);
+    event.args.emplace_back("d", e.d);
+  }
+  event.notes.emplace_back("policy", e.policy);
+  tracer->RecordEvent(std::move(event));
+
+  // Companion counter event so the viewer graphs the rate over time.
+  Event counter = MakeInstant(tracer, MigrationTrack(e.tenant_id),
+                              "throttle_rate_mbps", "control");
+  counter.kind = EventKind::kCounter;
+  counter.args.emplace_back("mbps", e.rate_mbps);
+  tracer->RecordEvent(std::move(counter));
+}
+
+void EmitDeltaRoundShipped(Tracer* tracer, const DeltaRoundShipped& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id), "delta_round",
+                            "migration");
+  event.args.emplace_back("round", static_cast<double>(e.round));
+  event.args.emplace_back("bytes", static_cast<double>(e.bytes));
+  event.args.emplace_back("remaining_bytes",
+                          static_cast<double>(e.remaining_bytes));
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitSnapshotChunkSent(Tracer* tracer, const SnapshotChunkSent& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id),
+                            "snapshot_chunk", "migration");
+  event.args.emplace_back("seq", static_cast<double>(e.seq));
+  event.args.emplace_back("bytes", static_cast<double>(e.bytes));
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitSnapshotNack(Tracer* tracer, const SnapshotNack& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id),
+                            "snapshot_nack", "migration");
+  event.args.emplace_back("rewind_to_seq",
+                          static_cast<double>(e.rewind_to_seq));
+  event.args.emplace_back("chunks_resent",
+                          static_cast<double>(e.chunks_resent));
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitSupervisorRetry(Tracer* tracer, const SupervisorRetry& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, SupervisorTrack(e.tenant_id), "retry",
+                            "supervisor");
+  event.args.emplace_back("attempt", static_cast<double>(e.attempt));
+  event.args.emplace_back("backoff_s", e.backoff_seconds);
+  event.notes.emplace_back("status", e.status);
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitFaultFired(Tracer* tracer, const FaultFired& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, FaultTrack(), "fault:" + e.kind, "fault");
+  event.args.emplace_back("server", static_cast<double>(e.server_id));
+  if (e.has_peer) {
+    event.args.emplace_back("peer", static_cast<double>(e.peer));
+  }
+  event.notes.emplace_back("kind", e.kind);
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitSlaViolation(Tracer* tracer, const SlaViolation& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, SlaTrack(), "sla_violation", "sla");
+  event.args.emplace_back("tenant", static_cast<double>(e.tenant_id));
+  event.args.emplace_back("latency_ms", e.latency_ms);
+  event.args.emplace_back("threshold_ms", e.threshold_ms);
+  tracer->RecordEvent(std::move(event));
+}
+
+}  // namespace slacker::obs

@@ -1,0 +1,105 @@
+#ifndef SLACKER_OBS_EVENTS_H_
+#define SLACKER_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace slacker::obs {
+
+// Typed structured events — the domain vocabulary of a Slacker trace.
+// Each Emit* helper is null-safe (a null or disabled tracer makes it a
+// no-op) and owns the canonical event/track naming, so every emitter
+// and every exporter agree on what a "throttle" event looks like.
+
+/// Track naming shared by emitters and instrumented classes.
+std::string MigrationTrack(uint64_t tenant_id);
+std::string SupervisorTrack(uint64_t tenant_id);
+std::string ServerTrack(uint64_t server_id);
+inline const char* FaultTrack() { return "faults"; }
+inline const char* SlaTrack() { return "sla"; }
+
+/// A migration moved between phases (negotiate → snapshot → ...).
+struct PhaseTransition {
+  uint64_t tenant_id = 0;
+  uint64_t source_server = 0;
+  uint64_t target_server = 0;
+  std::string from;
+  std::string to;
+};
+void EmitPhaseTransition(Tracer* tracer, const PhaseTransition& e);
+
+/// One controller tick's throttle decision, with the PID decomposition
+/// when a PID-family policy drove it (p/i/d are the velocity-form
+/// per-term deltas for that tick).
+struct ThrottleUpdate {
+  uint64_t tenant_id = 0;
+  std::string policy;
+  double rate_mbps = 0.0;
+  double latency_ms = 0.0;
+  bool has_pid_terms = false;
+  double setpoint_ms = 0.0;
+  double error_ms = 0.0;
+  double p = 0.0;
+  double i = 0.0;
+  double d = 0.0;
+};
+void EmitThrottleUpdate(Tracer* tracer, const ThrottleUpdate& e);
+
+/// One delta round left the source.
+struct DeltaRoundShipped {
+  uint64_t tenant_id = 0;
+  int round = 0;
+  uint64_t bytes = 0;
+  /// Binlog bytes still unshipped after this round was read — the lag
+  /// the convergence loop is trying to drive to zero.
+  uint64_t remaining_bytes = 0;
+};
+void EmitDeltaRoundShipped(Tracer* tracer, const DeltaRoundShipped& e);
+
+/// One snapshot chunk left the source.
+struct SnapshotChunkSent {
+  uint64_t tenant_id = 0;
+  uint64_t seq = 0;
+  uint64_t bytes = 0;
+};
+void EmitSnapshotChunkSent(Tracer* tracer, const SnapshotChunkSent& e);
+
+/// The target NACKed the stream; the source rewinds (go-back-N).
+struct SnapshotNack {
+  uint64_t tenant_id = 0;
+  uint64_t rewind_to_seq = 0;
+  uint64_t chunks_resent = 0;
+};
+void EmitSnapshotNack(Tracer* tracer, const SnapshotNack& e);
+
+/// A supervisor scheduled a retry after a failed attempt.
+struct SupervisorRetry {
+  uint64_t tenant_id = 0;
+  int attempt = 0;
+  double backoff_seconds = 0.0;
+  std::string status;
+};
+void EmitSupervisorRetry(Tracer* tracer, const SupervisorRetry& e);
+
+/// A cluster fault fired (crash/restart/partition/heal).
+struct FaultFired {
+  std::string kind;
+  uint64_t server_id = 0;
+  bool has_peer = false;
+  uint64_t peer = 0;
+};
+void EmitFaultFired(Tracer* tracer, const FaultFired& e);
+
+/// A transaction completed above the SLA latency threshold.
+struct SlaViolation {
+  uint64_t tenant_id = 0;
+  double latency_ms = 0.0;
+  double threshold_ms = 0.0;
+};
+void EmitSlaViolation(Tracer* tracer, const SlaViolation& e);
+
+}  // namespace slacker::obs
+
+#endif  // SLACKER_OBS_EVENTS_H_

@@ -1,0 +1,117 @@
+#include "src/obs/metric_registry.h"
+
+#include <cmath>
+
+namespace slacker::obs {
+
+void Histogram::Observe(double v) {
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  int bucket = 0;
+  double edge = 1.0;
+  while (bucket < kBuckets - 1 && v > edge) {
+    edge *= 2.0;
+    ++bucket;
+  }
+  ++buckets_[bucket];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  double edge = 1.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return edge;
+    edge *= 2.0;
+  }
+  return max_;
+}
+
+std::string MetricRegistry::FullName(const std::string& name,
+                                     const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+Counter* MetricRegistry::FindOrCreateCounter(const std::string& name,
+                                             const std::string& labels) {
+  const std::string full = FullName(name, labels);
+  auto it = by_name_.find(full);
+  if (it != by_name_.end()) return &counters_[order_[it->second].index];
+  counters_.emplace_back();
+  counter_series_.emplace_back();
+  by_name_[full] = order_.size();
+  order_.push_back(Slot{Kind::kCounter, full, counters_.size() - 1});
+  return &counters_.back();
+}
+
+Gauge* MetricRegistry::FindOrCreateGauge(const std::string& name,
+                                         const std::string& labels) {
+  const std::string full = FullName(name, labels);
+  auto it = by_name_.find(full);
+  if (it != by_name_.end()) return &gauges_[order_[it->second].index];
+  gauges_.emplace_back();
+  gauge_series_.emplace_back();
+  by_name_[full] = order_.size();
+  order_.push_back(Slot{Kind::kGauge, full, gauges_.size() - 1});
+  return &gauges_.back();
+}
+
+Histogram* MetricRegistry::FindOrCreateHistogram(const std::string& name,
+                                                 const std::string& labels) {
+  const std::string full = FullName(name, labels);
+  auto it = by_name_.find(full);
+  if (it != by_name_.end()) return &histograms_[order_[it->second].index];
+  histograms_.emplace_back();
+  by_name_[full] = order_.size();
+  order_.push_back(Slot{Kind::kHistogram, full, histograms_.size() - 1});
+  return &histograms_.back();
+}
+
+void MetricRegistry::SampleSeries(SimTime now) {
+  for (const Slot& slot : order_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        counter_series_[slot.index].points.emplace_back(
+            now, static_cast<double>(counters_[slot.index].value()));
+        break;
+      case Kind::kGauge:
+        gauge_series_[slot.index].points.emplace_back(
+            now, gauges_[slot.index].value());
+        break;
+      case Kind::kHistogram:
+        break;  // Distributions are exported whole, not sampled.
+    }
+  }
+}
+
+std::vector<MetricRegistry::Entry> MetricRegistry::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(order_.size());
+  for (const Slot& slot : order_) {
+    Entry entry;
+    entry.kind = slot.kind;
+    entry.full_name = slot.full_name;
+    switch (slot.kind) {
+      case Kind::kCounter:
+        entry.counter = &counters_[slot.index];
+        entry.series = &counter_series_[slot.index];
+        break;
+      case Kind::kGauge:
+        entry.gauge = &gauges_[slot.index];
+        entry.series = &gauge_series_[slot.index];
+        break;
+      case Kind::kHistogram:
+        entry.histogram = &histograms_[slot.index];
+        break;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace slacker::obs

@@ -1,0 +1,123 @@
+#ifndef SLACKER_OBS_METRIC_REGISTRY_H_
+#define SLACKER_OBS_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace slacker::obs {
+
+/// Monotonically increasing count. Hot-path increments are a single
+/// add on a stable pointer — safe to leave compiled into hot loops
+/// (the simulator is single-threaded, so no atomics are needed; the
+/// layout mirrors what a relaxed atomic would be in a threaded build).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depth, throttle rate).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed distribution (latencies). Buckets double from 1 upward,
+/// so percentiles are exact to a factor of 2 — enough for dashboards;
+/// exact percentiles stay with common/stats.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  /// Upper edge of the bucket holding the p-th percentile (nearest
+  /// rank), p in (0, 100].
+  double Percentile(double p) const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One metric's sampled (time, value) history, appended by
+/// MetricRegistry::SampleSeries.
+struct MetricSeries {
+  std::vector<std::pair<SimTime, double>> points;
+};
+
+/// Labeled counters/gauges/histograms with stable handles. Handles stay
+/// valid for the registry's lifetime (deque storage); lookups by name
+/// happen only at attach time, never on the hot path.
+class MetricRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// A full name is "name" or "name{labels}".
+  Counter* FindOrCreateCounter(const std::string& name,
+                               const std::string& labels = "");
+  Gauge* FindOrCreateGauge(const std::string& name,
+                           const std::string& labels = "");
+  Histogram* FindOrCreateHistogram(const std::string& name,
+                                   const std::string& labels = "");
+
+  /// Appends (now, current value) to every counter's and gauge's series
+  /// — the periodic sampler (MetricsCollector) drives this once per
+  /// tick so CSV export sees a regular time series.
+  void SampleSeries(SimTime now);
+
+  /// Flattened view for exporters, in registration order.
+  struct Entry {
+    Kind kind;
+    std::string full_name;
+    const Counter* counter = nullptr;    // kCounter
+    const Gauge* gauge = nullptr;        // kGauge
+    const Histogram* histogram = nullptr;  // kHistogram
+    const MetricSeries* series = nullptr;  // counters and gauges only
+  };
+  std::vector<Entry> Entries() const;
+
+  size_t size() const { return order_.size(); }
+
+ private:
+  struct Slot {
+    Kind kind;
+    std::string full_name;
+    size_t index;  // Into the kind's deque.
+  };
+
+  static std::string FullName(const std::string& name,
+                              const std::string& labels);
+
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::deque<MetricSeries> counter_series_;
+  std::deque<MetricSeries> gauge_series_;
+  std::vector<Slot> order_;
+  std::unordered_map<std::string, size_t> by_name_;  // full name -> order_.
+};
+
+}  // namespace slacker::obs
+
+#endif  // SLACKER_OBS_METRIC_REGISTRY_H_

@@ -8,6 +8,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/units.h"
+#include "src/obs/metric_registry.h"
 #include "src/sim/simulator.h"
 
 namespace slacker::resource {
@@ -60,6 +61,15 @@ class DiskModel {
 
   const DiskOptions& options() const { return options_; }
 
+  /// Mirrors QueueDepth into `queue_depth` on every submit/complete.
+  /// Pass nullptr to detach; off by default.
+  void AttachObs(obs::Gauge* queue_depth) {
+    queue_depth_gauge_ = queue_depth;
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(QueueDepth()));
+    }
+  }
+
  private:
   struct Request {
     IoKind kind;
@@ -86,6 +96,8 @@ class DiskModel {
   // the same stream skip the seek (head already positioned).
   uint64_t last_stream_ = UINT64_MAX;
   bool last_was_sequential_ = false;
+
+  obs::Gauge* queue_depth_gauge_ = nullptr;
 
   SimTime busy_time_ = 0.0;
   SimTime stats_epoch_ = 0.0;

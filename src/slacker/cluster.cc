@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/engine/checkpoint.h"
+#include "src/obs/events.h"
 #include "src/wal/recovery.h"
 
 namespace slacker {
@@ -72,6 +73,42 @@ Cluster::Cluster(sim::Simulator* sim, const ClusterOptions& options)
 
 Cluster::~Cluster() = default;
 
+void Cluster::InstallTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    txn_latency_hist_ = nullptr;
+    sla_violations_counter_ = nullptr;
+    for (auto& server : servers_) {
+      server->disk()->AttachObs(nullptr);
+      for (uint64_t tenant_id : server->tenants()->TenantIds()) {
+        engine::TenantDb* db = server->tenants()->Get(tenant_id);
+        if (db != nullptr) db->AttachObs(nullptr, nullptr);
+      }
+    }
+    return;
+  }
+  obs::MetricRegistry* registry = tracer_->registry();
+  txn_latency_hist_ = registry->FindOrCreateHistogram("txn_latency_ms");
+  sla_violations_counter_ = registry->FindOrCreateCounter("sla_violations");
+  for (auto& server : servers_) {
+    const std::string labels = "server=" + std::to_string(server->id());
+    server->disk()->AttachObs(
+        registry->FindOrCreateGauge("disk_queue_depth", labels));
+    for (uint64_t tenant_id : server->tenants()->TenantIds()) {
+      AttachTenantObs(server->tenants()->Get(tenant_id));
+    }
+  }
+}
+
+void Cluster::AttachTenantObs(engine::TenantDb* db) {
+  if (tracer_ == nullptr || db == nullptr) return;
+  const std::string labels =
+      "tenant=" + std::to_string(db->config().tenant_id);
+  db->AttachObs(
+      tracer_->registry()->FindOrCreateHistogram("op_latency_ms", labels),
+      tracer_->registry()->FindOrCreateCounter("ops_executed", labels));
+}
+
 Server* Cluster::server(uint64_t id) {
   return id < servers_.size() ? servers_[id].get() : nullptr;
 }
@@ -83,6 +120,7 @@ Result<engine::TenantDb*> Cluster::AddTenant(
   Result<engine::TenantDb*> db =
       host->tenants()->CreateTenant(config, load, /*frozen=*/false);
   if (!db.ok()) return db;
+  AttachTenantObs(*db);
   SLACKER_RETURN_IF_ERROR(directory_.Register(config.tenant_id, server_id));
   return db;
 }
@@ -141,6 +179,17 @@ workload::ClientPool::LatencyObserver Cluster::MakeLatencyObserver() {
     const Result<uint64_t> host = directory_.Lookup(tenant_id);
     if (!host.ok()) return;
     server(*host)->monitor()->Record(now, latency_ms);
+    if (tracer_ != nullptr) {
+      if (txn_latency_hist_ != nullptr) txn_latency_hist_->Observe(latency_ms);
+      if (sla_threshold_ms_ > 0.0 && latency_ms > sla_threshold_ms_) {
+        if (sla_violations_counter_ != nullptr) sla_violations_counter_->Add();
+        obs::SlaViolation violation;
+        violation.tenant_id = tenant_id;
+        violation.latency_ms = latency_ms;
+        violation.threshold_ms = sla_threshold_ms_;
+        obs::EmitSlaViolation(tracer_, violation);
+      }
+    }
   };
 }
 
@@ -159,7 +208,10 @@ Result<engine::TenantDb*> Cluster::CreateTenantOn(
     bool frozen) {
   Server* host = server(server_id);
   if (host == nullptr) return Status::NotFound("no such server");
-  return host->tenants()->CreateTenant(config, load, frozen);
+  Result<engine::TenantDb*> db =
+      host->tenants()->CreateTenant(config, load, frozen);
+  if (db.ok()) AttachTenantObs(*db);
+  return db;
 }
 
 Status Cluster::DeleteTenantOn(uint64_t server_id, uint64_t tenant_id) {
@@ -177,6 +229,12 @@ void Cluster::CrashServer(uint64_t server_id) {
   Server* host = server(server_id);
   if (host == nullptr || !host->up()) return;
   SLACKER_LOG_WARN << "server " << server_id << " crashed";
+  if (tracer_ != nullptr) {
+    obs::FaultFired fault;
+    fault.kind = "crash";
+    fault.server_id = server_id;
+    obs::EmitFaultFired(tracer_, fault);
+  }
   DurableStore* durable = host->durable();
   for (uint64_t tenant_id : host->tenants()->TenantIds()) {
     engine::TenantDb* db = host->tenants()->Get(tenant_id);
@@ -208,6 +266,12 @@ void Cluster::RecoverServer(uint64_t server_id) {
   if (host == nullptr || host->up()) return;
   host->Reboot(this, options_.incoming_migration);
   SLACKER_LOG_INFO << "server " << server_id << " restarted";
+  if (tracer_ != nullptr) {
+    obs::FaultFired fault;
+    fault.kind = "restart";
+    fault.server_id = server_id;
+    obs::EmitFaultFired(tracer_, fault);
+  }
   DurableStore* durable = host->durable();
   for (uint64_t tenant_id : durable->CrashedTenants()) {
     const DurableTenantState* state = durable->CrashState(tenant_id);
@@ -288,6 +352,14 @@ void Cluster::SetPartitioned(uint64_t a, uint64_t b, bool partitioned) {
     partitions_.insert(key);
   } else {
     partitions_.erase(key);
+  }
+  if (tracer_ != nullptr) {
+    obs::FaultFired fault;
+    fault.kind = partitioned ? "partition" : "heal";
+    fault.server_id = key.first;
+    fault.has_peer = true;
+    fault.peer = key.second;
+    obs::EmitFaultFired(tracer_, fault);
   }
 }
 

@@ -160,6 +160,19 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   /// during stalls.
   void AttachClientPool(uint64_t tenant_id, workload::ClientPool* pool);
 
+  // --- Observability ----------------------------------------------
+  /// Installs a shared tracer: per-server disk queue-depth gauges and
+  /// per-tenant op metrics attach to the tracer's registry, migrations
+  /// and supervisors start emitting spans/events, and faults appear on
+  /// the "faults" track. Pass nullptr to detach. The tracer must
+  /// outlive the cluster (or be detached first).
+  void InstallTracer(obs::Tracer* tracer);
+  /// Latency (ms) above which a completed transaction emits an
+  /// SlaViolation event (0 disables; needs an installed tracer).
+  void set_sla_threshold_ms(double threshold_ms) {
+    sla_threshold_ms_ = threshold_ms;
+  }
+
   // --- MigrationContext -------------------------------------------
   sim::Simulator* simulator() override { return sim_; }
   engine::TenantDb* TenantOn(uint64_t server_id, uint64_t tenant_id) override;
@@ -171,10 +184,13 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
                    const net::Message& message) override;
   control::LatencyMonitor* MonitorOn(uint64_t server_id) override;
   DurableStore* DurableStoreOn(uint64_t server_id) override;
+  obs::Tracer* tracer() override { return tracer_; }
 
  private:
   void RecoverServer(uint64_t server_id);
   bool IsPartitioned(uint64_t a, uint64_t b) const;
+  /// Hooks a tenant instance into the installed tracer's registry.
+  void AttachTenantObs(engine::TenantDb* db);
 
   sim::Simulator* sim_;
   ClusterOptions options_;
@@ -189,6 +205,12 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   std::map<uint64_t, std::vector<workload::ClientPool*>> pools_by_tenant_;
   /// Unordered server pairs (min, max) whose link is currently cut.
   std::set<std::pair<uint64_t, uint64_t>> partitions_;
+
+  /// Observability (null when no tracer is installed).
+  obs::Tracer* tracer_ = nullptr;
+  double sla_threshold_ms_ = 0.0;
+  obs::Histogram* txn_latency_hist_ = nullptr;
+  obs::Counter* sla_violations_counter_ = nullptr;
 };
 
 }  // namespace slacker

@@ -29,9 +29,15 @@ ClusterMetrics CollectMetrics(Cluster* cluster) {
       tm.buffer_hit_rate = db->buffer_pool()->HitRate();
       tm.ops_executed = db->ops_executed();
       tm.frozen = db->frozen();
-      tm.migrating = server->controller() != nullptr &&
-                     server->controller()->ActiveJob(tenant_id) != nullptr;
-      if (tm.migrating) ++metrics.active_migrations;
+      MigrationJob* job = server->controller() == nullptr
+                              ? nullptr
+                              : server->controller()->ActiveJob(tenant_id);
+      tm.migrating = job != nullptr;
+      if (tm.migrating) {
+        ++metrics.active_migrations;
+        tm.migration_phase = MigrationPhaseName(job->phase());
+        tm.migration_rate_mbps = job->current_rate_mbps();
+      }
       sm.tenants.push_back(tm);
     }
     metrics.servers.push_back(std::move(sm));
@@ -56,6 +62,12 @@ std::string ClusterMetrics::ToString() const {
                   s.up ? "" : "  [down]");
     out << line;
     for (const TenantMetrics& t : s.tenants) {
+      char migrating[64] = "";
+      if (t.migrating) {
+        std::snprintf(migrating, sizeof(migrating),
+                      "  [migrating] %s %.1f MB/s", t.migration_phase.c_str(),
+                      t.migration_rate_mbps);
+      }
       std::snprintf(
           line, sizeof(line),
           "    tenant %llu: %llu rows (%.0f MiB)  hit %.2f  ops %llu%s%s\n",
@@ -63,7 +75,7 @@ std::string ClusterMetrics::ToString() const {
           static_cast<unsigned long long>(t.rows),
           static_cast<double>(t.data_bytes) / kMiB, t.buffer_hit_rate,
           static_cast<unsigned long long>(t.ops_executed),
-          t.frozen ? "  [frozen]" : "", t.migrating ? "  [migrating]" : "");
+          t.frozen ? "  [frozen]" : "", migrating);
       out << line;
     }
   }
@@ -80,8 +92,29 @@ MetricsCollector::MetricsCollector(sim::Simulator* sim, Cluster* cluster,
 void MetricsCollector::Start() { timer_.Start(); }
 void MetricsCollector::Stop() { timer_.Stop(); }
 
+void MetricsCollector::PublishTo(obs::MetricRegistry* registry) {
+  registry_ = registry;
+}
+
 void MetricsCollector::Sample(SimTime /*now*/) {
   ClusterMetrics metrics = CollectMetrics(cluster_);
+  if (registry_ != nullptr) {
+    for (const ServerMetrics& s : metrics.servers) {
+      const std::string labels =
+          "server=" + std::to_string(s.server_id);
+      registry_->FindOrCreateGauge("disk_util", labels)
+          ->Set(s.disk_utilization);
+      registry_->FindOrCreateGauge("cpu_util", labels)
+          ->Set(s.cpu_utilization);
+      registry_->FindOrCreateGauge("disk_queue_depth", labels)
+          ->Set(static_cast<double>(s.disk_queue_depth));
+      registry_->FindOrCreateGauge("window_latency_ms", labels)
+          ->Set(s.window_latency_ms);
+    }
+    registry_->FindOrCreateGauge("active_migrations")
+        ->Set(static_cast<double>(metrics.active_migrations));
+    registry_->SampleSeries(metrics.time);
+  }
   if (sink_) sink_(metrics);
   history_.push_back(std::move(metrics));
   if (history_.size() > max_history_) {

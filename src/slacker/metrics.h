@@ -22,6 +22,9 @@ struct TenantMetrics {
   uint64_t ops_executed = 0;
   bool frozen = false;
   bool migrating = false;
+  /// When migrating: current phase name and live throttle rate.
+  std::string migration_phase;
+  double migration_rate_mbps = 0.0;
 };
 
 /// One server's state at sample time.
@@ -66,6 +69,13 @@ class MetricsCollector {
   /// Latest snapshot; collects one on demand if none sampled yet.
   ClusterMetrics Latest();
 
+  /// Publishes every sample into `registry` as per-server gauges
+  /// (disk_util, cpu_util, disk_queue_depth, window_latency_ms) plus
+  /// active_migrations, and drives registry->SampleSeries so the CSV
+  /// exporter sees one row set per collector tick. Pass nullptr to
+  /// detach.
+  void PublishTo(obs::MetricRegistry* registry);
+
  private:
   void Sample(SimTime now);
 
@@ -74,6 +84,7 @@ class MetricsCollector {
   size_t max_history_;
   std::vector<ClusterMetrics> history_;
   sim::PeriodicTimer timer_;
+  obs::MetricRegistry* registry_ = nullptr;
 };
 
 }  // namespace slacker

@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/engine/checkpoint.h"
+#include "src/obs/events.h"
 #include "src/wal/recovery.h"
 
 namespace slacker {
@@ -72,7 +73,13 @@ MigrationJob::MigrationJob(MigrationContext* ctx, uint64_t tenant_id,
       source_server_(source_server),
       target_server_(target_server),
       options_(options),
-      done_(std::move(done)) {
+      done_(std::move(done)),
+      tracer_(ctx->tracer()) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    track_ = obs::MigrationTrack(tenant_id);
+  } else {
+    tracer_ = nullptr;
+  }
   report_.tenant_id = tenant_id;
   report_.source_server = source_server;
   report_.target_server = target_server;
@@ -110,6 +117,25 @@ Status MigrationJob::Start() {
 
   report_.start_time = sim_->Now();
   phase_start_ = sim_->Now();
+
+  if (tracer_ != nullptr) {
+    const std::string labels = "tenant=" + std::to_string(tenant_id_);
+    obs::MetricRegistry* registry = tracer_->registry();
+    rate_gauge_ = registry->FindOrCreateGauge("migration_rate_mbps", labels);
+    snapshot_bytes_counter_ =
+        registry->FindOrCreateCounter("migration_snapshot_bytes", labels);
+    delta_bytes_counter_ =
+        registry->FindOrCreateCounter("migration_delta_bytes", labels);
+    chunks_sent_counter_ =
+        registry->FindOrCreateCounter("migration_chunks_sent", labels);
+    phase_span_ = obs::TraceSpan(tracer_, track_,
+                                 MigrationPhaseName(MigrationPhase::kNegotiate),
+                                 "phase");
+    phase_span_.AddNote("mode", options_.mode == MigrationMode::kLive
+                                    ? "live"
+                                    : "stop-and-copy");
+    phase_span_.AddNote("policy", policy_->name());
+  }
 
   net::Message request;
   request.type = net::MessageType::kMigrateRequest;
@@ -208,6 +234,20 @@ void MigrationJob::EnterPhase(MigrationPhase phase) {
     case MigrationPhase::kFailed:
       break;
   }
+  if (tracer_ != nullptr) {
+    obs::PhaseTransition transition;
+    transition.tenant_id = tenant_id_;
+    transition.source_server = source_server_;
+    transition.target_server = target_server_;
+    transition.from = MigrationPhaseName(phase_);
+    transition.to = MigrationPhaseName(phase);
+    obs::EmitPhaseTransition(tracer_, transition);
+    phase_span_.End();
+    if (phase != MigrationPhase::kDone && phase != MigrationPhase::kFailed) {
+      phase_span_ =
+          obs::TraceSpan(tracer_, track_, MigrationPhaseName(phase), "phase");
+    }
+  }
   phase_ = phase;
   phase_start_ = now;
 }
@@ -248,11 +288,34 @@ void MigrationJob::OnTick(SimTime now) {
   const double rate_mbps = policy_->OnTick(now, options_.controller_tick);
   throttle_->SetRate(BytesPerSecFromMBps(rate_mbps));
   report_.throttle_series.Add(now, rate_mbps);
+  double latency_ms = 0.0;
+  bool have_latency = false;
   if (auto* pid = dynamic_cast<PidThrottlePolicy*>(policy_.get())) {
-    report_.controller_latency_series.Add(now, pid->last_latency_ms());
+    latency_ms = pid->last_latency_ms();
+    have_latency = true;
   } else if (auto* adaptive =
                  dynamic_cast<AdaptivePidThrottlePolicy*>(policy_.get())) {
-    report_.controller_latency_series.Add(now, adaptive->last_latency_ms());
+    latency_ms = adaptive->last_latency_ms();
+    have_latency = true;
+  }
+  if (have_latency) {
+    report_.controller_latency_series.Add(now, latency_ms);
+  }
+  if (tracer_ != nullptr) {
+    if (rate_gauge_ != nullptr) rate_gauge_->Set(rate_mbps);
+    const ThrottlePolicy::PidTerms terms = policy_->last_terms();
+    obs::ThrottleUpdate update;
+    update.tenant_id = tenant_id_;
+    update.policy = policy_->name();
+    update.rate_mbps = rate_mbps;
+    update.latency_ms = latency_ms;
+    update.has_pid_terms = terms.valid;
+    update.setpoint_ms = terms.setpoint_ms;
+    update.error_ms = terms.error_ms;
+    update.p = terms.p;
+    update.i = terms.i;
+    update.d = terms.d;
+    obs::EmitThrottleUpdate(tracer_, update);
   }
 }
 
@@ -300,6 +363,7 @@ void MigrationJob::HandleMessage(const net::Message& message) {
     }
     case net::MessageType::kDeltaAck: {
       if (phase_ != MigrationPhase::kDelta) return;
+      delta_round_span_.End();
       shipper_->MarkApplied(message.lsn);
       ShipNextDelta();
       return;
@@ -336,6 +400,7 @@ void MigrationJob::OnAccepted(bool resume_offer, const net::Message& message) {
   if (options_.mode == MigrationMode::kStopAndCopy) {
     // Stop-and-copy freezes the tenant for the entire copy (§2.3.1).
     freeze_time_ = sim_->Now();
+    freeze_span_ = obs::TraceSpan(tracer_, track_, "freeze", "handover");
     source_db_->Freeze([this, alive = std::weak_ptr<bool>(alive_)] {
       if (alive.expired()) return;
       BeginSnapshot();
@@ -353,6 +418,13 @@ void MigrationJob::BeginSnapshot() {
       resuming_ ? resume_lsn_ : snapshot_->start_lsn();
   shipper_ = std::make_unique<backup::DeltaShipper>(source_db_->binlog(),
                                                     snap_lsn);
+  if (tracer_ != nullptr) {
+    const std::string labels = "tenant=" + std::to_string(tenant_id_);
+    shipper_->AttachObs(
+        tracer_->registry()->FindOrCreateCounter("delta_rounds_shipped",
+                                                 labels),
+        tracer_->registry()->FindOrCreateCounter("delta_log_bytes", labels));
+  }
   // Keep the delta range readable even if a retention policy purges the
   // source binlog mid-migration.
   binlog_pin_ = source_db_->PinBinlog(snap_lsn + 1);
@@ -403,6 +475,17 @@ void MigrationJob::PumpSnapshot() {
           msg.chunk_crc = backup::ChunkCrc(chunk.rows);
           msg.rows = std::move(chunk.rows);
           ctx_->SendMessage(source_server_, target_server_, msg);
+          if (tracer_ != nullptr) {
+            if (snapshot_bytes_counter_ != nullptr) {
+              snapshot_bytes_counter_->Add(msg.payload_bytes);
+            }
+            if (chunks_sent_counter_ != nullptr) chunks_sent_counter_->Add();
+            obs::SnapshotChunkSent sent;
+            sent.tenant_id = tenant_id_;
+            sent.seq = msg.chunk_seq;
+            sent.bytes = msg.payload_bytes;
+            obs::EmitSnapshotChunkSent(tracer_, sent);
+          }
           --inflight_chunks_;
           PumpSnapshot();
         });
@@ -441,6 +524,13 @@ void MigrationJob::OnSnapshotNack(const net::Message& message) {
                    << message.chunk_seq << "; rewinding from "
                    << snapshot_->next_seq();
   report_.chunks_retransmitted += snapshot_->next_seq() - message.chunk_seq;
+  if (tracer_ != nullptr) {
+    obs::SnapshotNack nack;
+    nack.tenant_id = tenant_id_;
+    nack.rewind_to_seq = message.chunk_seq;
+    nack.chunks_resent = snapshot_->next_seq() - message.chunk_seq;
+    obs::EmitSnapshotNack(tracer_, nack);
+  }
   // Go-back-N: rewind the cursor to the gap and restream from there.
   snapshot_->RewindTo(message.chunk_seq);
   snapshot_sent_end_ = false;
@@ -490,6 +580,23 @@ void MigrationJob::ShipNextDelta() {
     }
     report_.delta_bytes += round->bytes;
     ++report_.delta_rounds;
+    if (tracer_ != nullptr) {
+      if (delta_bytes_counter_ != nullptr) {
+        delta_bytes_counter_->Add(round->bytes);
+      }
+      obs::DeltaRoundShipped shipped;
+      shipped.tenant_id = tenant_id_;
+      shipped.round = report_.delta_rounds;
+      shipped.bytes = round->bytes;
+      shipped.remaining_bytes = shipper_->PendingBytes();
+      obs::EmitDeltaRoundShipped(tracer_, shipped);
+      delta_round_span_ = obs::TraceSpan(
+          tracer_, track_,
+          "delta round " + std::to_string(report_.delta_rounds), "delta");
+      delta_round_span_.AddArg("bytes", static_cast<double>(round->bytes));
+      delta_round_span_.AddArg("remaining_bytes",
+                               static_cast<double>(shipper_->PendingBytes()));
+    }
     const uint64_t read_bytes = std::max<uint64_t>(round->bytes, 1);
     source_db_->ChargeSequentialRead(
         read_bytes, kMigrationStreamId,
@@ -515,6 +622,7 @@ void MigrationJob::BeginHandover() {
     return;
   }
   freeze_time_ = sim_->Now();
+  freeze_span_ = obs::TraceSpan(tracer_, track_, "freeze", "handover");
   source_db_->Freeze([this, alive = std::weak_ptr<bool>(alive_)] {
     if (!alive.expired()) OnSourceDrained();
   });
@@ -582,6 +690,8 @@ void MigrationJob::OnHandoverAck(const net::Message& message) {
   commit.tenant_id = tenant_id_;
   ctx_->SendMessage(source_server_, target_server_, commit);
   report_.downtime_ms = MsFromSeconds(sim_->Now() - freeze_time_);
+  freeze_span_.AddArg("downtime_ms", report_.downtime_ms);
+  freeze_span_.End();
   // Queries stranded behind the source's read lock bounce to the new
   // authoritative replica (clients re-resolve and retry).
   source_db_->FailQueued();
@@ -598,6 +708,12 @@ void MigrationJob::Finish(Status status) {
     binlog_pin_ = 0;
   }
   EnterPhase(status.ok() ? MigrationPhase::kDone : MigrationPhase::kFailed);
+  // Safety-close any spans still open on an abort path.
+  if (!status.ok()) freeze_span_.AddNote("status", status.ToString());
+  freeze_span_.End();
+  delta_round_span_.End();
+  phase_span_.End();
+  if (rate_gauge_ != nullptr) rate_gauge_->Set(0.0);
   if (tick_ != nullptr) tick_->Stop();
   if (throttle_ != nullptr) throttle_->SetRate(0.0);
   report_.status = status;

@@ -14,6 +14,7 @@
 #include "src/control/latency_monitor.h"
 #include "src/engine/tenant_db.h"
 #include "src/net/message.h"
+#include "src/obs/trace.h"
 #include "src/resource/token_bucket.h"
 #include "src/sim/simulator.h"
 #include "src/slacker/durable_store.h"
@@ -50,6 +51,9 @@ class MigrationContext {
   virtual DurableStore* DurableStoreOn(uint64_t /*server_id*/) {
     return nullptr;
   }
+  /// Shared trace sink, or nullptr when observability is off (the
+  /// default — instrumented code must treat null as a no-op).
+  virtual obs::Tracer* tracer() { return nullptr; }
 };
 
 /// One try of a supervised migration (MigrationSupervisor fills these).
@@ -181,6 +185,19 @@ class MigrationJob {
   uint64_t target_server_;
   MigrationOptions options_;
   DoneCallback done_;
+
+  // Observability (all inert when tracer_ is null). One span per phase,
+  // one per freeze window, one per delta round in flight; gauges and
+  // counters live in the tracer's registry.
+  obs::Tracer* tracer_ = nullptr;
+  std::string track_;
+  obs::TraceSpan phase_span_;
+  obs::TraceSpan freeze_span_;
+  obs::TraceSpan delta_round_span_;
+  obs::Gauge* rate_gauge_ = nullptr;
+  obs::Counter* snapshot_bytes_counter_ = nullptr;
+  obs::Counter* delta_bytes_counter_ = nullptr;
+  obs::Counter* chunks_sent_counter_ = nullptr;
 
   engine::TenantDb* source_db_ = nullptr;
   std::unique_ptr<resource::TokenBucket> throttle_;

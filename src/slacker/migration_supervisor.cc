@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/events.h"
 
 namespace slacker {
 
@@ -42,6 +43,12 @@ MigrationSupervisor::MigrationSupervisor(Cluster* cluster, uint64_t tenant_id,
       options_(options),
       done_(std::move(done)),
       rng_(options.seed ^ tenant_id) {
+  tracer_ = cluster->tracer();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    track_ = obs::SupervisorTrack(tenant_id);
+  } else {
+    tracer_ = nullptr;
+  }
   report_.tenant_id = tenant_id;
   report_.target_server = target_server;
   report_.mode = migration_.mode;
@@ -89,6 +96,10 @@ void MigrationSupervisor::LaunchAttempt() {
   attempt_start_ = sim_->Now();
   attempt_inflight_ = true;
   const uint64_t generation = ++attempt_generation_;
+  attempt_span_ = obs::TraceSpan(
+      tracer_, track_, "attempt " + std::to_string(attempts_made_),
+      "supervisor");
+  attempt_span_.AddArg("attempt", attempts_made_);
 
   MigrationOptions attempt_options = migration_;
   if (disable_resume_) attempt_options.allow_resume = false;
@@ -148,6 +159,8 @@ void MigrationSupervisor::OnAttemptDone(uint64_t generation,
   // issued by the timeout path completing) is ignored.
   ++attempt_generation_;
   attempt_inflight_ = false;
+  attempt_span_.AddNote("status", job_report.status.ToString());
+  attempt_span_.End();
 
   // Fold transfer metrics into the cross-attempt totals.
   if (job_report.source_server != 0) {
@@ -217,6 +230,14 @@ void MigrationSupervisor::ScheduleRetry(const Status& status) {
   SLACKER_LOG_INFO << "tenant " << tenant_id_ << " attempt " << attempts_made_
                    << " failed (" << status.ToString() << "); retrying in "
                    << backoff << "s";
+  if (tracer_ != nullptr) {
+    obs::SupervisorRetry retry;
+    retry.tenant_id = tenant_id_;
+    retry.attempt = attempts_made_;
+    retry.backoff_seconds = backoff;
+    retry.status = status.ToString();
+    obs::EmitSupervisorRetry(tracer_, retry);
+  }
   sim_->After(backoff, [this, alive = std::weak_ptr<bool>(alive_)] {
     if (alive.expired()) return;
     LaunchAttempt();
@@ -226,6 +247,7 @@ void MigrationSupervisor::ScheduleRetry(const Status& status) {
 void MigrationSupervisor::FinishWith(Status status) {
   if (finished_) return;
   finished_ = true;
+  attempt_span_.End();
   report_.status = std::move(status);
   report_.end_time = sim_->Now();
   report_.attempt_count = std::max(attempts_made_, 1);

@@ -88,6 +88,11 @@ class MigrationSupervisor {
   DoneCallback done_;
   Rng rng_;
 
+  /// Inert when the cluster has no tracer installed.
+  obs::Tracer* tracer_ = nullptr;
+  std::string track_;
+  obs::TraceSpan attempt_span_;
+
   int attempts_made_ = 0;
   /// Bumped when an attempt is resolved (done fired or timeout
   /// synthesized); stale job callbacks compare against it and bail.

@@ -42,6 +42,17 @@ double PidThrottlePolicy::OnTick(SimTime now, SimTime dt) {
   return pid_.Update(latency, dt);
 }
 
+ThrottlePolicy::PidTerms PidThrottlePolicy::last_terms() const {
+  PidTerms terms;
+  terms.valid = true;
+  terms.setpoint_ms = pid_.config().setpoint;
+  terms.error_ms = pid_.last_error();
+  terms.p = pid_.last_p();
+  terms.i = pid_.last_i();
+  terms.d = pid_.last_d();
+  return terms;
+}
+
 AdaptivePidThrottlePolicy::AdaptivePidThrottlePolicy(
     const control::AdaptivePidOptions& options,
     control::LatencyMonitor* source_monitor,
@@ -62,6 +73,18 @@ double AdaptivePidThrottlePolicy::OnTick(SimTime now, SimTime dt) {
   }
   last_latency_ms_ = latency;
   return pid_.Update(latency, dt);
+}
+
+ThrottlePolicy::PidTerms AdaptivePidThrottlePolicy::last_terms() const {
+  const control::PidController& inner = pid_.inner();
+  PidTerms terms;
+  terms.valid = true;
+  terms.setpoint_ms = inner.config().setpoint;
+  terms.error_ms = inner.last_error();
+  terms.p = inner.last_p();
+  terms.i = inner.last_i();
+  terms.d = inner.last_d();
+  return terms;
 }
 
 std::unique_ptr<ThrottlePolicy> MakeThrottlePolicy(

@@ -24,6 +24,18 @@ class ThrottlePolicy {
   /// policy chose for the next interval.
   virtual double OnTick(SimTime now, SimTime dt) = 0;
   virtual std::string name() const = 0;
+
+  /// Controller internals from the most recent OnTick, for tracing.
+  /// `valid` is false for policies without a PID core (fixed throttle).
+  struct PidTerms {
+    bool valid = false;
+    double setpoint_ms = 0.0;
+    double error_ms = 0.0;
+    double p = 0.0;
+    double i = 0.0;
+    double d = 0.0;
+  };
+  virtual PidTerms last_terms() const { return {}; }
 };
 
 /// Baseline: "we manually set the throttle at the start of migration
@@ -62,6 +74,7 @@ class PidThrottlePolicy : public ThrottlePolicy {
   const control::PidController& controller() const { return pid_; }
   /// Latest process-variable value fed to the controller (ms).
   double last_latency_ms() const { return last_latency_ms_; }
+  PidTerms last_terms() const override;
 
  private:
   control::PidController pid_;
@@ -87,6 +100,7 @@ class AdaptivePidThrottlePolicy : public ThrottlePolicy {
 
   const control::AdaptivePidController& controller() const { return pid_; }
   double last_latency_ms() const { return last_latency_ms_; }
+  PidTerms last_terms() const override;
 
  private:
   control::AdaptivePidController pid_;
