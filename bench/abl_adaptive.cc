@@ -70,10 +70,10 @@ int main(int argc, char** argv) {
       std::printf("  %-10s disk x%.1f  %+12.1f %% %11.0f ms %9.1f MB/s %6s\n",
                   kind_name, disk_scale, r.err_pct, r.stddev, r.speed,
                   r.finished ? "yes" : "NO");
-      if (disk_scale == 0.5 && kind == ThrottleKind::kPid) {
+      if (disk_scale == 0.5 && kind == ThrottleKind::kPid) {  // NOLINT(slacker-float-eq)
         fixed_sd_sensitive = r.stddev;
       }
-      if (disk_scale == 0.5 && kind == ThrottleKind::kAdaptivePid) {
+      if (disk_scale == 0.5 && kind == ThrottleKind::kAdaptivePid) {  // NOLINT(slacker-float-eq)
         adaptive_sd_sensitive = r.stddev;
       }
     }

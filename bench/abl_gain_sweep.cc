@@ -75,9 +75,9 @@ int main(int argc, char** argv) {
     std::printf("  %-28s %8.1f %% %9.0f ms %9.1f MB/s %6s\n", g.name,
                 r.mean_error_pct, r.stddev_ms, r.avg_speed,
                 r.finished ? "yes" : "NO");
-    if (g.kd == 0.015 && g.ki == 0.005 && g.kp == 0.025) paper_sd = r.stddev_ms;
-    if (g.ki == 0.02) large_ki_sd = r.stddev_ms;
-    if (g.kp == 0.025 && g.ki == 0.005 && g.kd == 0.0) no_kd_sd = r.stddev_ms;
+    if (g.kd == 0.015 && g.ki == 0.005 && g.kp == 0.025) paper_sd = r.stddev_ms;  // NOLINT(slacker-float-eq)
+    if (g.ki == 0.02) large_ki_sd = r.stddev_ms;  // NOLINT(slacker-float-eq)
+    if (g.kp == 0.025 && g.ki == 0.005 && g.kd == 0.0) no_kd_sd = r.stddev_ms;  // NOLINT(slacker-float-eq)
   }
   PrintRow("small Ki / large Kd stabilizes", "paper's tuning insight",
            paper_sd <= large_ki_sd * 1.05 ? "yes (paper sd <= large-Ki sd)"

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "src/common/invariant.h"
 
 namespace slacker::bench {
 namespace {
@@ -30,11 +31,13 @@ SurgeResult RunVelocityEndToEnd() {
   migration.pid.setpoint = 800.0;
   MigrationReport report;
   bool done = false;
-  bed.cluster()->StartMigration(bed.tenant_id(), 1, migration,
-                                [&](const MigrationReport& r) {
-                                  report = r;
-                                  done = true;
-                                });
+  const Status started = bed.cluster()->StartMigration(
+      bed.tenant_id(), 1, migration, [&](const MigrationReport& r) {
+        report = r;
+        done = true;
+      });
+  // A failed start invalidates the whole experiment; fail loudly.
+  SLACKER_CHECK(started.ok(), started.ToString());
 
   const SimTime start = bed.sim()->Now();
   bed.sim()->RunUntil(start + 40.0);       // Quiet phase: saturation.

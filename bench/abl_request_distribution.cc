@@ -10,6 +10,7 @@
 #include <string>
 
 #include "bench/harness.h"
+#include "src/common/invariant.h"
 #include "src/workload/client_pool.h"
 
 namespace slacker::bench {
@@ -56,10 +57,13 @@ DistResult Run(workload::KeyDistribution dist) {
   migration.prepare.base_seconds = 2.0;
   MigrationReport report;
   bool done = false;
-  cluster.StartMigration(1, 1, migration, [&](const MigrationReport& r) {
-    report = r;
-    done = true;
-  });
+  const Status started =
+      cluster.StartMigration(1, 1, migration, [&](const MigrationReport& r) {
+        report = r;
+        done = true;
+      });
+  // A failed start invalidates the whole experiment; fail loudly.
+  SLACKER_CHECK(started.ok(), started.ToString());
   const SimTime start = sim.Now();
   while (!done && sim.Now() < start + 1000.0) sim.RunUntil(sim.Now() + 5.0);
   PercentileTracker lat;

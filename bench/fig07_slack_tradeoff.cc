@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     Testbed bed(options);
     PercentileTracker latencies;
     double duration = 0.0;
-    if (rate == 0.0) {
+    if (rate == 0.0) {  // NOLINT(slacker-float-eq)
       latencies = bed.RunBaseline(180.0);
       duration = 180.0;
     } else {

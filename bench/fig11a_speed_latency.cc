@@ -40,8 +40,8 @@ int main(int argc, char** argv) {
     const PercentileTracker lat = bed.LatenciesBetween(start, bed.sim()->Now());
     std::printf("  %6.0f MB/s %9.0f ms %9.0f ms %9.0f s\n", rate, lat.Mean(),
                 lat.Stddev(), report.DurationSeconds());
-    if (rate == 5.0) last_low_rate_latency = lat.Mean();
-    if (rate == 30.0) top_rate_latency = lat.Mean();
+    if (rate == 5.0) last_low_rate_latency = lat.Mean();  // NOLINT(slacker-float-eq)
+    if (rate == 30.0) top_rate_latency = lat.Mean();  // NOLINT(slacker-float-eq)
   }
   PrintRow("low-speed latency", "low, stable (~100-300 ms)",
            FormatMs(last_low_rate_latency));

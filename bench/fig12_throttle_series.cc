@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   for (size_t i = 1; i < rates.size() && i < pvs.size(); ++i) {
     const double rate_delta = rates[i].value - rates[i - 1].value;
     const double error = 1000.0 - pvs[i].value;
-    if (rate_delta == 0.0) continue;
+    if (rate_delta == 0.0) continue;  // NOLINT(slacker-float-eq)
     ++moves;
     if ((rate_delta > 0) == (error > 0)) ++opposing;
   }

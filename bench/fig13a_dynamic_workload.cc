@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "src/common/invariant.h"
 
 namespace slacker::bench {
 namespace {
@@ -41,11 +42,13 @@ DynamicResult RunDynamic(bool use_pid, double fixed_rate) {
   MigrationReport report;
   bool done = false;
   const SimTime start = bed.sim()->Now();
-  bed.cluster()->StartMigration(bed.tenant_id(), 1, migration,
-                                [&](const MigrationReport& r) {
-                                  report = r;
-                                  done = true;
-                                });
+  const Status started = bed.cluster()->StartMigration(
+      bed.tenant_id(), 1, migration, [&](const MigrationReport& r) {
+        report = r;
+        done = true;
+      });
+  // A failed start invalidates the whole experiment; fail loudly.
+  SLACKER_CHECK(started.ok(), started.ToString());
   // Phase 1: original workload.
   bed.sim()->RunUntil(start + kStepAfter);
   DynamicResult result;

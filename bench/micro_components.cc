@@ -105,7 +105,7 @@ void BM_BinlogAppendScan(benchmark::State& state) {
       r.type = wal::LogType::kUpdate;
       r.key = lsn % 97;
       r.digest = lsn;
-      log.Append(r, 1024);
+      benchmark::DoNotOptimize(log.Append(r, 1024));
     }
     std::vector<wal::LogRecord> out;
     benchmark::DoNotOptimize(log.ReadRange(5000, 10000, &out));

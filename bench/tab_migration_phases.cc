@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     ExperimentOptions options = FlagOptions();
     options.config = PaperConfig::kEvaluation;
     Testbed bed(options);
-    if (s.write_scale != 1.0) {
+    if (s.write_scale != 1.0) {  // NOLINT(slacker-float-eq)
       // Raise the write fraction (0.15 -> 0.45) for delta pressure.
       // Rebuild the testbed's workload mix via arrival scale is not
       // enough; instead migrate with a tighter handover threshold so
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     } else {
       migration.pid.setpoint = 1000.0;
     }
-    if (s.write_scale != 1.0) {
+    if (s.write_scale != 1.0) {  // NOLINT(slacker-float-eq)
       migration.delta_handover_bytes = 64 * kKiB;
     }
     MigrationReport report;

@@ -12,6 +12,7 @@
 
 #include "src/sim/simulator.h"
 #include "src/slacker/cluster.h"
+#include "src/common/invariant.h"
 #include "src/workload/client_pool.h"
 #include "src/workload/ycsb.h"
 
@@ -56,10 +57,13 @@ SweepPoint RunOne(double setpoint) {
   migration.prepare.base_seconds = 1.0;
   MigrationReport report;
   bool done = false;
-  cluster.StartMigration(1, 1, migration, [&](const MigrationReport& r) {
-    report = r;
-    done = true;
-  });
+  const Status started =
+      cluster.StartMigration(1, 1, migration, [&](const MigrationReport& r) {
+        report = r;
+        done = true;
+      });
+  // A failed start invalidates the exploration point; fail loudly.
+  SLACKER_CHECK(started.ok(), started.ToString());
   const SimTime start = sim.Now();
   while (!done && sim.Now() < start + 2000.0) sim.RunUntil(sim.Now() + 2.0);
   const SimTime end = sim.Now();

@@ -90,7 +90,10 @@ Status ByteReader::GetString(std::string* out) {
 
 Status ByteReader::GetBytes(uint8_t* out, size_t len) {
   if (remaining() < len) return Status::Corruption("truncated bytes");
-  std::memcpy(out, data_ + pos_, len);
+  // `out` may legitimately be null for a zero-length read (e.g. an
+  // empty payload read into an empty vector's data()); memcpy's nonnull
+  // contract forbids that even when len == 0.
+  if (len != 0) std::memcpy(out, data_ + pos_, len);
   pos_ += len;
   return Status::Ok();
 }

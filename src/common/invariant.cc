@@ -1,0 +1,20 @@
+#include "src/common/invariant.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slacker {
+
+void InvariantFailure(const char* file, int line, const char* expr,
+                      const std::string& message) {
+  if (message.empty()) {
+    std::fprintf(stderr, "%s:%d invariant violated: %s\n", file, line, expr);
+  } else {
+    std::fprintf(stderr, "%s:%d invariant violated: %s (%s)\n", file, line,
+                 expr, message.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace slacker

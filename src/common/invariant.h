@@ -1,0 +1,54 @@
+#ifndef SLACKER_COMMON_INVARIANT_H_
+#define SLACKER_COMMON_INVARIANT_H_
+
+#include <string>
+
+namespace slacker {
+
+/// Prints "<file>:<line> invariant violated: <expr> (<message>)" to
+/// stderr and aborts. Never returns; death tests match the stderr text.
+[[noreturn]] void InvariantFailure(const char* file, int line,
+                                   const char* expr,
+                                   const std::string& message);
+
+namespace internal {
+inline std::string FormatInvariantMessage() { return std::string(); }
+inline std::string FormatInvariantMessage(std::string message) {
+  return message;
+}
+}  // namespace internal
+
+}  // namespace slacker
+
+/// Always-on fatal invariant: constant-time checks on state-machine and
+/// conservation properties that must hold in every build. A violation
+/// means the simulation state is already corrupt — continuing would
+/// only move the crash further from the cause — so it aborts
+/// immediately with file/line/expression context.
+///
+///   SLACKER_CHECK(cond);
+///   SLACKER_CHECK(cond, "tenant " + std::to_string(id) + " details");
+#define SLACKER_CHECK(cond, ...)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::slacker::InvariantFailure(                                      \
+          __FILE__, __LINE__, #cond,                                    \
+          ::slacker::internal::FormatInvariantMessage(__VA_ARGS__));    \
+    }                                                                   \
+  } while (false)
+
+/// Debug/sanitizer-only invariant for checks too hot (or too paranoid)
+/// for release builds. Enabled when NDEBUG is unset (Debug builds) or
+/// when the build sets SLACKER_AUDIT (the SLACKER_SANITIZE cmake path
+/// does). Compiles to nothing otherwise — the condition is NOT
+/// evaluated, so it must be side-effect free.
+#if !defined(NDEBUG) || defined(SLACKER_AUDIT)
+#define SLACKER_AUDIT_ENABLED 1
+#define SLACKER_DCHECK(cond, ...) SLACKER_CHECK(cond, ##__VA_ARGS__)
+#else
+#define SLACKER_DCHECK(cond, ...) \
+  do {                            \
+  } while (false)
+#endif
+
+#endif  // SLACKER_COMMON_INVARIANT_H_

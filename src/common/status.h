@@ -32,7 +32,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case (no
 /// allocation); carries a message in the error case.
-class Status {
+///
+/// [[nodiscard]]: a Status dropped on the floor is a silently ignored
+/// error. Call sites that genuinely do not care must say so with
+/// `(void)` and a comment explaining why ignoring is safe.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -89,9 +93,10 @@ class Status {
 };
 
 /// Either a T or an error Status. Analogous to arrow::Result /
-/// absl::StatusOr, reduced to what this codebase needs.
+/// absl::StatusOr, reduced to what this codebase needs. [[nodiscard]]
+/// for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` from Result-returning
   /// functions (matching absl::StatusOr ergonomics).

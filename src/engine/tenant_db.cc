@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/checksum.h"
+#include "src/common/invariant.h"
 #include "src/storage/record.h"
 
 namespace slacker::engine {
@@ -228,7 +229,11 @@ WrittenRow TenantDb::ApplyWrite(const Operation& op) {
   // accounted at full row-image size (row-based replication).
   const bool carries_image =
       log.type == wal::LogType::kInsert || log.type == wal::LogType::kUpdate;
-  binlog_.Append(log, carries_image ? config_.layout.record_bytes : 0);
+  const Status appended =
+      binlog_.Append(log, carries_image ? config_.layout.record_bytes : 0);
+  // The engine assigns LSNs from its own monotone counter; an
+  // out-of-order append is engine-state corruption, not a runtime error.
+  SLACKER_CHECK(appended.ok(), appended.ToString());
   return written;
 }
 
@@ -237,7 +242,8 @@ void TenantDb::Commit(uint64_t txn_id, std::function<void()> done) {
   commit.lsn = next_lsn_++;
   commit.type = wal::LogType::kCommit;
   commit.txn_id = txn_id;
-  binlog_.Append(commit);
+  const Status committed = binlog_.Append(commit);
+  SLACKER_CHECK(committed.ok(), committed.ToString());
   sim_->After(config_.commit_latency, std::move(done));
 }
 

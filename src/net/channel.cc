@@ -19,6 +19,9 @@ void Channel::SetDeliveryFilter(DeliveryFilter filter) {
 void Channel::SetFrameCorrupter(FrameCorrupter corrupter) {
   frame_corrupter_ = std::move(corrupter);
 }
+void Channel::OnDrop(DropHandler handler) {
+  drop_handler_ = std::move(handler);
+}
 
 void Channel::Send(const Message& message, uint64_t* sent_bytes) {
   std::vector<uint8_t> frame = EncodeMessage(message);
@@ -30,17 +33,25 @@ void Channel::Send(const Message& message, uint64_t* sent_bytes) {
   ++messages_sent_;
   bytes_sent_ += wire_bytes;
   if (sent_bytes != nullptr) *sent_bytes = wire_bytes;
-  link_->Send(wire_bytes, [this, frame = std::move(frame)]() mutable {
+  // Captured at send time: a frame the corrupter renders undecodable
+  // can still be attributed to its message when reporting the drop.
+  DropInfo info;
+  info.type = message.type;
+  info.tenant_id = message.tenant_id;
+  info.payload_bytes = message.payload_bytes;
+  link_->Send(wire_bytes, [this, info, frame = std::move(frame)]() mutable {
     if (frame_corrupter_) frame_corrupter_(&frame);
     Message received;
     const Status status = DecodeMessage(frame, &received);
     if (!status.ok()) {
       SLACKER_LOG_ERROR << "channel decode failed: " << status.ToString();
+      if (drop_handler_) drop_handler_(info);
       if (error_handler_) error_handler_(status);
       return;
     }
     if (delivery_filter_ && !delivery_filter_(&received)) {
       ++messages_dropped_;
+      if (drop_handler_) drop_handler_(info);
       return;
     }
     if (handler_) handler_(received);

@@ -39,6 +39,18 @@ class Channel {
   using FrameCorrupter = std::function<void(std::vector<uint8_t>*)>;
   void SetFrameCorrupter(FrameCorrupter corrupter);
 
+  /// Identity of a message the channel ate (undecodable frame or
+  /// delivery-filter drop), captured at Send time so even a frame that
+  /// cannot be decoded is still attributable. Feeds the invariant
+  /// auditor's conservation ledger.
+  struct DropInfo {
+    MessageType type = MessageType::kMigrateRequest;
+    uint64_t tenant_id = 0;
+    uint64_t payload_bytes = 0;
+  };
+  using DropHandler = std::function<void(const DropInfo&)>;
+  void OnDrop(DropHandler handler);
+
   /// Serializes and transmits; the receiver's handler fires on arrival.
   /// `sent_bytes` (optional out) reports the frame size put on the wire.
   void Send(const Message& message, uint64_t* sent_bytes = nullptr);
@@ -54,6 +66,7 @@ class Channel {
   ErrorHandler error_handler_;
   DeliveryFilter delivery_filter_;
   FrameCorrupter frame_corrupter_;
+  DropHandler drop_handler_;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_dropped_ = 0;

@@ -1,7 +1,10 @@
 #include "src/resource/token_bucket.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+#include "src/common/invariant.h"
 
 namespace slacker::resource {
 
@@ -32,6 +35,12 @@ void TokenBucket::Acquire(uint64_t bytes, std::function<void()> granted) {
 }
 
 void TokenBucket::SetRate(double bytes_per_sec) {
+  // A NaN/inf or negative rate is a controller bug upstream (a PID that
+  // escaped its clamp); letting it in would stall or runaway the pipe
+  // in a way that only surfaces minutes later in a throttle series.
+  SLACKER_CHECK(std::isfinite(bytes_per_sec),
+                "token bucket rate is not finite");
+  SLACKER_CHECK(bytes_per_sec >= 0.0, "token bucket rate is negative");
   Refill();  // Bank tokens accrued at the old rate first.
   rate_ = std::max(bytes_per_sec, 0.0);
   if (wakeup_ != 0) {
@@ -43,6 +52,10 @@ void TokenBucket::SetRate(double bytes_per_sec) {
 
 void TokenBucket::PumpWaiters() {
   Refill();
+  // Refill clamps at the burst and every grant subtracts what it takes:
+  // the token count must stay within [0, burst].
+  SLACKER_DCHECK(tokens_ >= 0.0 &&
+                 tokens_ <= static_cast<double>(options_.burst_bytes));
   // Residues below a milli-byte are float noise, not real debt: treat
   // them as satisfied so the wakeup chain cannot degenerate into
   // ever-smaller (eventually sub-ulp, i.e., zero-time) sleeps.

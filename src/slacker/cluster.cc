@@ -401,12 +401,22 @@ net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
     // like a real network.
     if (receiver == nullptr || !receiver->up() ||
         receiver->controller() == nullptr || IsPartitioned(from, to)) {
+      if (message.type == net::MessageType::kSnapshotChunk) {
+        auditor_.OnChunkDropped(message.tenant_id, message.payload_bytes);
+      }
       return;
     }
     receiver->controller()->HandleMessage(from, message);
   });
   channel->OnError([](const Status& status) {
     SLACKER_LOG_ERROR << "channel error: " << status.ToString();
+  });
+  channel->OnDrop([this](const net::Channel::DropInfo& info) {
+    // Chunks lost to injected faults (filtered datagrams, bit rot that
+    // fails the frame decode) count against the conservation ledger.
+    if (info.type == net::MessageType::kSnapshotChunk) {
+      auditor_.OnChunkDropped(info.tenant_id, info.payload_bytes);
+    }
   });
   net::Channel* raw = channel.get();
   links_[key] = std::move(link);
@@ -416,8 +426,14 @@ net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
 
 void Cluster::SendMessage(uint64_t from_server, uint64_t to_server,
                           const net::Message& message) {
+  auditor_.OnClockSample(sim_->Now());
   Server* sender = server(from_server);
-  if (sender == nullptr || !sender->up()) return;
+  if (sender == nullptr || !sender->up()) {
+    if (message.type == net::MessageType::kSnapshotChunk) {
+      auditor_.OnChunkDropped(message.tenant_id, message.payload_bytes);
+    }
+    return;
+  }
   ChannelBetween(from_server, to_server)->Send(message);
 }
 

@@ -15,6 +15,7 @@
 #include "src/resource/disk.h"
 #include "src/resource/network_link.h"
 #include "src/sim/simulator.h"
+#include "src/slacker/invariant_auditor.h"
 #include "src/slacker/migration.h"
 #include "src/slacker/migration_controller.h"
 #include "src/slacker/tenant_directory.h"
@@ -185,6 +186,8 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   control::LatencyMonitor* MonitorOn(uint64_t server_id) override;
   DurableStore* DurableStoreOn(uint64_t server_id) override;
   obs::Tracer* tracer() override { return tracer_; }
+  /// Always on: every Cluster audits its migrations (DESIGN.md §9).
+  InvariantAuditor* auditor() override { return &auditor_; }
 
  private:
   void RecoverServer(uint64_t server_id);
@@ -205,6 +208,8 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   std::map<uint64_t, std::vector<workload::ClientPool*>> pools_by_tenant_;
   /// Unordered server pairs (min, max) whose link is currently cut.
   std::set<std::pair<uint64_t, uint64_t>> partitions_;
+
+  InvariantAuditor auditor_;
 
   /// Observability (null when no tracer is installed).
   obs::Tracer* tracer_ = nullptr;

@@ -1,0 +1,165 @@
+#include "src/slacker/invariant_auditor.h"
+
+#include <cmath>
+#include <string>
+
+namespace slacker {
+namespace {
+
+std::string TransitionLabel(uint64_t tenant_id, MigrationPhase from,
+                            MigrationPhase to) {
+  return "tenant " + std::to_string(tenant_id) + ": phase transition " +
+         MigrationPhaseName(from) + " -> " + MigrationPhaseName(to);
+}
+
+}  // namespace
+
+bool InvariantAuditor::TransitionAllowed(MigrationPhase from,
+                                         MigrationPhase to) {
+  switch (from) {
+    case MigrationPhase::kNegotiate:
+      // Live and stop-and-copy both start streaming after the accept;
+      // an abort/cancel can fail the job before any data moves.
+      return to == MigrationPhase::kSnapshot || to == MigrationPhase::kFailed;
+    case MigrationPhase::kSnapshot:
+      // Live: snapshot -> prepare. Stop-and-copy skips prepare with a
+      // file-level copy (straight to handover) or pays the re-import
+      // cost in prepare first.
+      return to == MigrationPhase::kPrepare ||
+             to == MigrationPhase::kHandover || to == MigrationPhase::kFailed;
+    case MigrationPhase::kPrepare:
+      // Live: prepare -> delta rounds. Stop-and-copy (mysqldump
+      // variant): prepare models the re-import, then hands over.
+      return to == MigrationPhase::kDelta || to == MigrationPhase::kHandover ||
+             to == MigrationPhase::kFailed;
+    case MigrationPhase::kDelta:
+      return to == MigrationPhase::kHandover || to == MigrationPhase::kFailed;
+    case MigrationPhase::kHandover:
+      return to == MigrationPhase::kDone || to == MigrationPhase::kFailed;
+    case MigrationPhase::kDone:
+    case MigrationPhase::kFailed:
+      // Terminal.
+      return false;
+  }
+  return false;
+}
+
+void InvariantAuditor::OnPhaseTransition(uint64_t tenant_id,
+                                         MigrationPhase from,
+                                         MigrationPhase to) {
+  SLACKER_CHECK(TransitionAllowed(from, to),
+                TransitionLabel(tenant_id, from, to) + " is illegal");
+  ++checks_passed_;
+}
+
+void InvariantAuditor::OnClockSample(SimTime now) {
+  SLACKER_CHECK(!have_time_ || now >= last_time_,
+                "sim clock ran backwards: " + std::to_string(last_time_) +
+                    " -> " + std::to_string(now));
+  last_time_ = now;
+  have_time_ = true;
+  ++checks_passed_;
+}
+
+void InvariantAuditor::OnThrottleRate(uint64_t tenant_id, double rate_mbps,
+                                      double min_mbps, double max_mbps) {
+  // Absolute tolerance: the controller output is clamped in double
+  // precision; anything past 1e-6 MB/s outside the clamp is a real
+  // actuator-bound violation, not rounding.
+  constexpr double kTolerance = 1e-6;
+  SLACKER_CHECK(std::isfinite(rate_mbps),
+                "tenant " + std::to_string(tenant_id) +
+                    ": throttle rate is not finite");
+  SLACKER_CHECK(rate_mbps >= min_mbps - kTolerance &&
+                    rate_mbps <= max_mbps + kTolerance,
+                "tenant " + std::to_string(tenant_id) + ": throttle rate " +
+                    std::to_string(rate_mbps) + " MB/s outside [" +
+                    std::to_string(min_mbps) + ", " +
+                    std::to_string(max_mbps) + "]");
+  ++checks_passed_;
+}
+
+void InvariantAuditor::BeginMigration(uint64_t tenant_id) {
+  ChunkLedger& ledger = ledgers_[tenant_id];
+  ledger = ChunkLedger();
+  ledger.active = true;
+}
+
+InvariantAuditor::ChunkLedger* InvariantAuditor::ActiveLedger(
+    uint64_t tenant_id) {
+  auto it = ledgers_.find(tenant_id);
+  if (it == ledgers_.end() || !it->second.active) return nullptr;
+  return &it->second;
+}
+
+void InvariantAuditor::OnChunkSent(uint64_t tenant_id, uint64_t bytes) {
+  ChunkLedger* ledger = ActiveLedger(tenant_id);
+  if (ledger == nullptr) return;
+  ++ledger->sent_chunks;
+  ledger->sent_bytes += bytes;
+}
+
+void InvariantAuditor::OnChunkApplied(uint64_t tenant_id, uint64_t bytes) {
+  ChunkLedger* ledger = ActiveLedger(tenant_id);
+  if (ledger == nullptr) return;
+  ++ledger->applied_chunks;
+  ledger->applied_bytes += bytes;
+  // A chunk can only be applied after it was sent; more applied than
+  // sent means two streams are crossed or the ledger epoch is torn.
+  SLACKER_CHECK(ledger->applied_chunks + ledger->discarded_chunks +
+                        ledger->dropped_chunks <=
+                    ledger->sent_chunks,
+                "tenant " + std::to_string(tenant_id) +
+                    ": more chunks accounted at the target than sent");
+  ++checks_passed_;
+}
+
+void InvariantAuditor::OnChunkDiscarded(uint64_t tenant_id, uint64_t bytes) {
+  ChunkLedger* ledger = ActiveLedger(tenant_id);
+  if (ledger == nullptr) return;
+  ++ledger->discarded_chunks;
+  ledger->discarded_bytes += bytes;
+}
+
+void InvariantAuditor::OnChunkDropped(uint64_t tenant_id, uint64_t bytes) {
+  ChunkLedger* ledger = ActiveLedger(tenant_id);
+  if (ledger == nullptr) return;
+  ++ledger->dropped_chunks;
+  ledger->dropped_bytes += bytes;
+}
+
+void InvariantAuditor::CheckChunkConservation(uint64_t tenant_id) {
+  ChunkLedger* ledger = ActiveLedger(tenant_id);
+  if (ledger == nullptr) return;
+  const uint64_t accounted_chunks = ledger->applied_chunks +
+                                    ledger->discarded_chunks +
+                                    ledger->dropped_chunks;
+  const uint64_t accounted_bytes = ledger->applied_bytes +
+                                   ledger->discarded_bytes +
+                                   ledger->dropped_bytes;
+  SLACKER_CHECK(
+      ledger->sent_chunks == accounted_chunks &&
+          ledger->sent_bytes == accounted_bytes,
+      "tenant " + std::to_string(tenant_id) +
+          ": snapshot byte conservation violated — sent " +
+          std::to_string(ledger->sent_chunks) + " chunks/" +
+          std::to_string(ledger->sent_bytes) + " B, accounted " +
+          std::to_string(accounted_chunks) + " chunks/" +
+          std::to_string(accounted_bytes) +
+          " B (applied + discarded + dropped)");
+  ++checks_passed_;
+}
+
+void InvariantAuditor::EndMigration(uint64_t tenant_id) {
+  auto it = ledgers_.find(tenant_id);
+  if (it != ledgers_.end()) it->second.active = false;
+}
+
+const InvariantAuditor::ChunkLedger* InvariantAuditor::ledger(
+    uint64_t tenant_id) const {
+  auto it = ledgers_.find(tenant_id);
+  if (it == ledgers_.end() || !it->second.active) return nullptr;
+  return &it->second;
+}
+
+}  // namespace slacker

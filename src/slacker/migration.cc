@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/invariant.h"
 #include "src/common/logging.h"
 #include "src/engine/checkpoint.h"
 #include "src/obs/events.h"
+#include "src/slacker/invariant_auditor.h"
 #include "src/wal/recovery.h"
 
 namespace slacker {
@@ -74,6 +76,7 @@ MigrationJob::MigrationJob(MigrationContext* ctx, uint64_t tenant_id,
       target_server_(target_server),
       options_(options),
       done_(std::move(done)),
+      auditor_(ctx->auditor()),
       tracer_(ctx->tracer()) {
   if (tracer_ != nullptr && tracer_->enabled()) {
     track_ = obs::MigrationTrack(tenant_id);
@@ -144,6 +147,7 @@ Status MigrationJob::Start() {
   request.config = WireConfigFrom(source_db_->config());
   request.resume = options_.allow_resume;
   ctx_->SendMessage(source_server_, target_server_, request);
+  if (auditor_ != nullptr) auditor_->BeginMigration(tenant_id_);
   if (options_.timeout_seconds > 0.0) {
     ArmWatchdog(options_.timeout_seconds);
   }
@@ -213,6 +217,10 @@ Status MigrationJob::Cancel(const std::string& reason) {
 
 void MigrationJob::EnterPhase(MigrationPhase phase) {
   const SimTime now = sim_->Now();
+  if (auditor_ != nullptr) {
+    auditor_->OnClockSample(now);
+    auditor_->OnPhaseTransition(tenant_id_, phase_, phase);
+  }
   const SimTime elapsed = now - phase_start_;
   switch (phase_) {
     case MigrationPhase::kNegotiate:
@@ -286,6 +294,13 @@ void MigrationJob::OnTick(SimTime now) {
     }
   }
   const double rate_mbps = policy_->OnTick(now, options_.controller_tick);
+  if (auditor_ != nullptr) {
+    auditor_->OnClockSample(now);
+    double min_mbps = 0.0;
+    double max_mbps = 0.0;
+    ThrottleBounds(&min_mbps, &max_mbps);
+    auditor_->OnThrottleRate(tenant_id_, rate_mbps, min_mbps, max_mbps);
+  }
   throttle_->SetRate(BytesPerSecFromMBps(rate_mbps));
   report_.throttle_series.Add(now, rate_mbps);
   double latency_ms = 0.0;
@@ -475,6 +490,9 @@ void MigrationJob::PumpSnapshot() {
           msg.chunk_crc = backup::ChunkCrc(chunk.rows);
           msg.rows = std::move(chunk.rows);
           ctx_->SendMessage(source_server_, target_server_, msg);
+          if (auditor_ != nullptr) {
+            auditor_->OnChunkSent(tenant_id_, msg.payload_bytes);
+          }
           if (tracer_ != nullptr) {
             if (snapshot_bytes_counter_ != nullptr) {
               snapshot_bytes_counter_->Add(msg.payload_bytes);
@@ -695,7 +713,13 @@ void MigrationJob::OnHandoverAck(const net::Message& message) {
   // Queries stranded behind the source's read lock bounce to the new
   // authoritative replica (clients re-resolve and retry).
   source_db_->FailQueued();
-  ctx_->DeleteTenantOn(source_server_, tenant_id_);
+  const Status deleted = ctx_->DeleteTenantOn(source_server_, tenant_id_);
+  if (!deleted.ok()) {
+    // Authority already moved to the target; a stale source copy is
+    // garbage, not a correctness problem, but worth surfacing.
+    SLACKER_LOG_WARN << "delete of migrated source copy for tenant "
+                     << tenant_id_ << " failed: " << deleted.ToString();
+  }
   source_db_ = nullptr;
   Finish(Status::Ok());
 }
@@ -708,6 +732,14 @@ void MigrationJob::Finish(Status status) {
     binlog_pin_ = 0;
   }
   EnterPhase(status.ok() ? MigrationPhase::kDone : MigrationPhase::kFailed);
+  if (auditor_ != nullptr) {
+    // The snapshot ack orders after every chunk on the FIFO channel, so
+    // at a successful finish the pipe is drained and the conservation
+    // equation must balance exactly. Failed attempts may die with
+    // chunks still in flight; their ledger closes unchecked.
+    if (status.ok()) auditor_->CheckChunkConservation(tenant_id_);
+    auditor_->EndMigration(tenant_id_);
+  }
   // Safety-close any spans still open on an abort path.
   if (!status.ok()) freeze_span_.AddNote("status", status.ToString());
   freeze_span_.End();
@@ -734,11 +766,30 @@ double MigrationJob::current_rate_mbps() const {
   return throttle_ == nullptr ? 0.0 : MBpsFromBytesPerSec(throttle_->rate());
 }
 
+void MigrationJob::ThrottleBounds(double* min_mbps, double* max_mbps) const {
+  switch (options_.throttle) {
+    case ThrottleKind::kFixed:
+      *min_mbps = options_.fixed_rate_mbps;
+      *max_mbps = options_.fixed_rate_mbps;
+      return;
+    case ThrottleKind::kPid:
+    case ThrottleKind::kAdaptivePid:
+      // The adaptive variant rescales gains, not the actuator clamp:
+      // both forms emit within the base PidConfig's output range.
+      *min_mbps = options_.pid.output_min;
+      *max_mbps = options_.pid.output_max;
+      return;
+  }
+  *min_mbps = 0.0;
+  *max_mbps = options_.pid.output_max;
+}
+
 TargetSession::TargetSession(MigrationContext* ctx, uint64_t self_server,
                              uint64_t source_server,
                              const net::Message& request,
                              const MigrationOptions& options)
     : ctx_(ctx),
+      auditor_(ctx->auditor()),
       self_server_(self_server),
       source_server_(source_server),
       tenant_id_(request.tenant_id),
@@ -802,7 +853,9 @@ void TargetSession::ReplyToRequest() {
 void TargetSession::Abort(const Status& status) {
   status_ = status;
   if (staging_ != nullptr) {
-    ctx_->DeleteTenantOn(self_server_, tenant_id_);
+    // Best-effort cleanup of a never-authoritative staging instance;
+    // it may already be gone after a crash-restart, so NotFound is fine.
+    (void)ctx_->DeleteTenantOn(self_server_, tenant_id_);
     staging_ = nullptr;
   }
   net::Message abort;
@@ -855,7 +908,9 @@ void TargetSession::ArmIdleTimer() {
                          << "s; discarding staging instance";
         status_ = Status::Aborted("migration source went silent");
         if (staging_ != nullptr) {
-          ctx_->DeleteTenantOn(self_server_, tenant_id_);
+          // Best-effort: the staging replica was never authoritative and
+          // may already have been discarded by a crash-restart.
+          (void)ctx_->DeleteTenantOn(self_server_, tenant_id_);
           staging_ = nullptr;
         }
         // Staged chunks stay in the durable store: a retried migration
@@ -890,7 +945,9 @@ void TargetSession::ArmDecisionProbe() {
       awaiting_decision_ = false;
       status_ = Status::Aborted("handover abandoned");
       if (staging_ != nullptr) {
-        ctx_->DeleteTenantOn(self_server_, tenant_id_);
+        // Best-effort: discarding a replica that never took authority;
+        // a NotFound here means a crash-restart already removed it.
+        (void)ctx_->DeleteTenantOn(self_server_, tenant_id_);
         staging_ = nullptr;
       }
       MarkFinished();
@@ -901,7 +958,15 @@ void TargetSession::ArmDecisionProbe() {
 }
 
 void TargetSession::HandleMessage(const net::Message& message) {
-  if (finished_) return;
+  if (finished_) {
+    // Finished but not yet reaped: the stream is dead; account chunks
+    // that still trickle in so the source-side ledger stays balanced.
+    if (message.type == net::MessageType::kSnapshotChunk &&
+        auditor_ != nullptr) {
+      auditor_->OnChunkDropped(tenant_id_, message.payload_bytes);
+    }
+    return;
+  }
   ArmIdleTimer();
   switch (message.type) {
     case net::MessageType::kSnapshotBegin: {
@@ -929,17 +994,29 @@ void TargetSession::HandleMessage(const net::Message& message) {
       return;
     }
     case net::MessageType::kSnapshotChunk: {
-      if (message.chunk_seq < expected_seq_) return;  // Duplicate.
+      if (message.chunk_seq < expected_seq_) {
+        // Duplicate (go-back-N overlap): already applied once.
+        if (auditor_ != nullptr) {
+          auditor_->OnChunkDiscarded(tenant_id_, message.payload_bytes);
+        }
+        return;
+      }
       if (message.chunk_seq > expected_seq_ ||
           backup::ChunkCrc(message.rows) != message.chunk_crc) {
         // Gap or corruption: ask the source to go back to the first
         // chunk we cannot accept.
+        if (auditor_ != nullptr) {
+          auditor_->OnChunkDiscarded(tenant_id_, message.payload_bytes);
+        }
         MaybeNack();
         return;
       }
       last_nacked_seq_ = UINT64_MAX;
       chunks_since_nack_ = 0;
       expected_seq_ = message.chunk_seq + 1;
+      if (auditor_ != nullptr) {
+        auditor_->OnChunkApplied(tenant_id_, message.payload_bytes);
+      }
       ApplyRows(message.rows, staging_->mutable_table());
       rows_received_ += message.rows.size();
       const uint64_t payload = std::max<uint64_t>(message.payload_bytes, 1);
@@ -989,7 +1066,10 @@ void TargetSession::HandleMessage(const net::Message& message) {
                            records = std::move(records), to]() {
         if (alive.expired()) return;
         if (finished_ || staging_ == nullptr) return;
-        wal::Replay(records, staging_->mutable_table());
+        // Records arrived through a CRC-checked frame decode; a replay
+        // failure here means in-memory corruption, not a lost message.
+        const Status replayed = wal::Replay(records, staging_->mutable_table());
+        SLACKER_CHECK(replayed.ok(), replayed.ToString());
         net::Message ack;
         ack.type = net::MessageType::kDeltaAck;
         ack.tenant_id = tenant_id_;
@@ -1004,14 +1084,20 @@ void TargetSession::HandleMessage(const net::Message& message) {
       // staged chunks are kept for a future resume.
       status_ = Status::Aborted(message.error);
       if (staging_ != nullptr) {
-        ctx_->DeleteTenantOn(self_server_, tenant_id_);
+        // Best-effort: the source cancelled, so the staging copy is
+        // garbage; it may already be gone after a crash-restart.
+        (void)ctx_->DeleteTenantOn(self_server_, tenant_id_);
         staging_ = nullptr;
       }
       MarkFinished();
       return;
     }
     case net::MessageType::kHandoverRequest: {
-      wal::Replay(message.log_records, staging_->mutable_table());
+      // Same reasoning as the delta path: the final log suffix passed
+      // the frame CRC, so a replay failure is engine-state corruption.
+      const Status replayed =
+          wal::Replay(message.log_records, staging_->mutable_table());
+      SLACKER_CHECK(replayed.ok(), replayed.ToString());
       staging_->SyncCursorsAfterIngest(message.lsn);
       if (store_ != nullptr) {
         // The staging data directory is complete on disk at this point;

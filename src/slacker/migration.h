@@ -25,6 +25,8 @@
 
 namespace slacker {
 
+class InvariantAuditor;
+
 /// The slice of the cluster a migration needs: tenant placement/
 /// lifecycle, peer messaging, latency monitors, and the frontend
 /// directory. Implemented by Cluster; mocked in unit tests.
@@ -54,10 +56,15 @@ class MigrationContext {
   /// Shared trace sink, or nullptr when observability is off (the
   /// default — instrumented code must treat null as a no-op).
   virtual obs::Tracer* tracer() { return nullptr; }
+  /// Runtime invariant auditor (DESIGN.md §9), or nullptr when the
+  /// context does not audit (mock contexts) — hooks must treat null as
+  /// a no-op, mirroring tracer().
+  virtual InvariantAuditor* auditor() { return nullptr; }
 };
 
 /// One try of a supervised migration (MigrationSupervisor fills these).
-struct MigrationAttempt {
+/// [[nodiscard]]: an attempt record carries the attempt's Status.
+struct [[nodiscard]] MigrationAttempt {
   int attempt = 0;
   Status status;
   SimTime start_time = 0.0;
@@ -67,8 +74,10 @@ struct MigrationAttempt {
   uint64_t resumed_bytes = 0;
 };
 
-/// Everything measured about one migration.
-struct MigrationReport {
+/// Everything measured about one migration. [[nodiscard]]: the report
+/// carries the migration's outcome Status — dropping a returned report
+/// discards the only record of whether the migration succeeded.
+struct [[nodiscard]] MigrationReport {
   Status status;
   uint64_t tenant_id = 0;
   uint64_t source_server = 0;
@@ -178,6 +187,10 @@ class MigrationJob {
   /// decision has been made while the job is unfinished.
   void ForceAbort(Status status);
 
+  /// The controller's actuator clamp for this job's throttle kind, fed
+  /// to the invariant auditor each tick.
+  void ThrottleBounds(double* min_mbps, double* max_mbps) const;
+
   MigrationContext* ctx_;
   sim::Simulator* sim_;
   uint64_t tenant_id_;
@@ -185,6 +198,7 @@ class MigrationJob {
   uint64_t target_server_;
   MigrationOptions options_;
   DoneCallback done_;
+  InvariantAuditor* auditor_ = nullptr;
 
   // Observability (all inert when tracer_ is null). One span per phase,
   // one per freeze window, one per delta round in flight; gauges and
@@ -282,6 +296,7 @@ class TargetSession {
   void ArmDecisionProbe();
 
   MigrationContext* ctx_;
+  InvariantAuditor* auditor_ = nullptr;
   uint64_t self_server_;
   uint64_t source_server_;
   uint64_t tenant_id_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/slacker/invariant_auditor.h"
 
 namespace slacker {
 
@@ -73,6 +74,13 @@ void MigrationController::HandleMessage(uint64_t from_server,
       auto it = sessions_.find(message.tenant_id);
       if (it == sessions_.end()) {
         SLACKER_LOG_WARN << "no session for tenant " << message.tenant_id;
+        if (message.type == net::MessageType::kSnapshotChunk &&
+            ctx_->auditor() != nullptr) {
+          // Sessionless chunks (stale stream after an abort) vanish
+          // here; the conservation ledger counts them as dropped.
+          ctx_->auditor()->OnChunkDropped(message.tenant_id,
+                                          message.payload_bytes);
+        }
         return;
       }
       it->second->HandleMessage(message);

@@ -46,7 +46,9 @@ TEST(HotBackupTest, StreamsWholeTableInOrder) {
   while (!stream.Done()) {
     const auto chunk = stream.NextChunk();
     for (const auto& r : chunk.rows) {
-      if (!first) EXPECT_GT(r.key, last_key);
+      if (!first) {
+        EXPECT_GT(r.key, last_key);
+      }
       last_key = r.key;
       first = false;
       ++rows;

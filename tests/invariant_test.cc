@@ -1,0 +1,179 @@
+// Runtime invariant auditor (DESIGN.md §9): the phase-transition table,
+// clock monotonicity, throttle clamps and snapshot chunk conservation
+// are fatal checks. Death tests pin the abort behavior; the end-to-end
+// case proves a full seeded migration runs with every auditor hook live
+// and the ledger balanced.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/common/invariant.h"
+#include "src/common/units.h"
+#include "src/resource/token_bucket.h"
+#include "src/slacker/cluster.h"
+#include "src/slacker/invariant_auditor.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker {
+namespace {
+
+TEST(InvariantMacroTest, CheckPassesAndFails) {
+  SLACKER_CHECK(1 + 1 == 2);  // No-op on success.
+  EXPECT_DEATH(SLACKER_CHECK(false, "broken"), "invariant violated");
+}
+
+TEST(TransitionTableTest, LegalEdges) {
+  using P = MigrationPhase;
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kNegotiate, P::kSnapshot));
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kSnapshot, P::kPrepare));
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kPrepare, P::kDelta));
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kDelta, P::kHandover));
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kHandover, P::kDone));
+  // Every live phase may abort.
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kNegotiate, P::kFailed));
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kSnapshot, P::kFailed));
+  EXPECT_TRUE(InvariantAuditor::TransitionAllowed(P::kHandover, P::kFailed));
+}
+
+TEST(TransitionTableTest, IllegalEdges) {
+  using P = MigrationPhase;
+  // Terminal states are terminal.
+  EXPECT_FALSE(InvariantAuditor::TransitionAllowed(P::kDone, P::kSnapshot));
+  EXPECT_FALSE(InvariantAuditor::TransitionAllowed(P::kFailed, P::kNegotiate));
+  // No skipping the snapshot, no going backwards.
+  EXPECT_FALSE(InvariantAuditor::TransitionAllowed(P::kNegotiate, P::kDelta));
+  EXPECT_FALSE(InvariantAuditor::TransitionAllowed(P::kDelta, P::kSnapshot));
+  EXPECT_FALSE(InvariantAuditor::TransitionAllowed(P::kHandover, P::kDelta));
+}
+
+TEST(InvariantAuditorDeathTest, IllegalPhaseTransitionIsFatal) {
+  InvariantAuditor auditor;
+  auditor.OnPhaseTransition(7, MigrationPhase::kNegotiate,
+                            MigrationPhase::kSnapshot);
+  EXPECT_DEATH(auditor.OnPhaseTransition(7, MigrationPhase::kDone,
+                                         MigrationPhase::kSnapshot),
+               "phase transition");
+}
+
+TEST(InvariantAuditorDeathTest, ClockRunningBackwardsIsFatal) {
+  InvariantAuditor auditor;
+  auditor.OnClockSample(10.0);
+  auditor.OnClockSample(10.0);  // Equal is fine (same event time).
+  EXPECT_DEATH(auditor.OnClockSample(9.5), "invariant violated");
+}
+
+TEST(InvariantAuditorDeathTest, ThrottleRateOutsideClampIsFatal) {
+  InvariantAuditor auditor;
+  auditor.OnThrottleRate(1, 25.0, 0.0, 50.0);  // In range.
+  auditor.OnThrottleRate(1, 50.0, 0.0, 50.0);  // Boundary is legal.
+  EXPECT_DEATH(auditor.OnThrottleRate(1, 75.0, 0.0, 50.0), "throttle rate");
+}
+
+TEST(InvariantAuditorDeathTest, ByteConservationMismatchIsFatal) {
+  InvariantAuditor auditor;
+  auditor.BeginMigration(3);
+  auditor.OnChunkSent(3, 4 * kMiB);
+  auditor.OnChunkSent(3, 4 * kMiB);
+  auditor.OnChunkApplied(3, 4 * kMiB);
+  // One 4 MiB chunk vanished without a matching drop/discard record.
+  EXPECT_DEATH(auditor.CheckChunkConservation(3), "conservation");
+}
+
+TEST(InvariantAuditorTest, BalancedLedgerPasses) {
+  InvariantAuditor auditor;
+  auditor.BeginMigration(3);
+  auditor.OnChunkSent(3, 4 * kMiB);
+  auditor.OnChunkSent(3, 4 * kMiB);
+  auditor.OnChunkSent(3, 2 * kMiB);
+  auditor.OnChunkApplied(3, 4 * kMiB);
+  auditor.OnChunkDiscarded(3, 4 * kMiB);  // Duplicate after a NACK.
+  auditor.OnChunkDropped(3, 2 * kMiB);    // Eaten by a partition.
+  const uint64_t before = auditor.checks_passed();
+  auditor.CheckChunkConservation(3);
+  EXPECT_GT(auditor.checks_passed(), before);
+  auditor.EndMigration(3);
+  EXPECT_EQ(auditor.ledger(3), nullptr);
+}
+
+TEST(InvariantAuditorTest, StragglerEventsWithoutLedgerAreIgnored) {
+  // Chunks from a prior attempt may still drain out of the network
+  // after the supervisor closed the ledger; they must not crash or
+  // pollute the next attempt.
+  InvariantAuditor auditor;
+  auditor.OnChunkApplied(9, kMiB);
+  auditor.OnChunkDropped(9, kMiB);
+  auditor.CheckChunkConservation(9);
+  EXPECT_EQ(auditor.ledger(9), nullptr);
+  auditor.BeginMigration(9);
+  const InvariantAuditor::ChunkLedger* ledger = auditor.ledger(9);
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_EQ(ledger->applied_chunks, 0u);
+  EXPECT_EQ(ledger->dropped_chunks, 0u);
+}
+
+TEST(TokenBucketDeathTest, NonFiniteOrNegativeRateIsFatal) {
+  sim::Simulator sim;
+  resource::TokenBucketOptions options;
+  resource::TokenBucket bucket(&sim, options);
+  bucket.SetRate(10.0 * kMiB);  // Sane rate is fine.
+  EXPECT_DEATH(bucket.SetRate(-1.0), "negative");
+  EXPECT_DEATH(bucket.SetRate(std::numeric_limits<double>::infinity()),
+               "finite");
+}
+
+// A full seeded PID migration with the auditor live end to end: every
+// phase transition, throttle tick and snapshot chunk flows through the
+// fatal checks, and the conservation ledger balances at handover.
+TEST(InvariantAuditorEndToEndTest, SeededMigrationPassesAllChecks) {
+  sim::Simulator sim;
+  ClusterOptions cluster_options;
+  cluster_options.num_servers = 2;
+  Cluster cluster(&sim, cluster_options);
+
+  engine::TenantConfig tenant;
+  tenant.tenant_id = 1;
+  tenant.layout.record_count = 32 * 1024;  // 32 MiB tenant.
+  tenant.buffer_pool_bytes = 4 * kMiB;
+  ASSERT_TRUE(cluster.AddTenant(0, tenant).ok());
+
+  workload::YcsbConfig ycsb;
+  ycsb.record_count = tenant.layout.record_count;
+  ycsb.mean_interarrival = 0.25;
+  workload::YcsbWorkload workload(ycsb, 1, /*seed=*/17);
+  workload::ClientPool pool(&sim, &workload, &cluster,
+                            cluster.MakeLatencyObserver());
+  cluster.AttachClientPool(1, &pool);
+  pool.Start();
+  sim.RunUntil(5.0);
+
+  MigrationOptions options;
+  options.pid.setpoint = 1000.0;
+  options.prepare.base_seconds = 0.5;
+
+  MigrationReport report;
+  bool done = false;
+  ASSERT_TRUE(cluster
+                  .StartMigration(1, 1, options,
+                                  [&](const MigrationReport& r) {
+                                    report = r;
+                                    done = true;
+                                  })
+                  .ok());
+  sim.RunUntil(600.0);
+  pool.Stop();
+  ASSERT_TRUE(done) << "migration did not finish";
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_TRUE(report.digest_match);
+
+  // The auditor ran: transitions + clock samples + throttle ticks +
+  // the final conservation check all passed.
+  ASSERT_NE(cluster.auditor(), nullptr);
+  EXPECT_GT(cluster.auditor()->checks_passed(), 50u);
+  // Ledger closed at Finish().
+  EXPECT_EQ(cluster.auditor()->ledger(1), nullptr);
+}
+
+}  // namespace
+}  // namespace slacker

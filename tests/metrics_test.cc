@@ -20,7 +20,8 @@ struct Rig {
     tenant.tenant_id = 1;
     tenant.layout.record_count = 16 * 1024;
     tenant.buffer_pool_bytes = 2 * kMiB;
-    cluster.AddTenant(0, tenant);
+    const auto added = cluster.AddTenant(0, tenant);
+    EXPECT_TRUE(added.ok()) << added.status().ToString();
   }
 };
 

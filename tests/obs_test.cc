@@ -444,7 +444,7 @@ TEST(SupervisorTracingTest, CrashDuringSnapshotEmitsAttemptSpansAndFaults) {
                                    report = r;
                                    done = true;
                                  });
-  supervisor.Start();
+  ASSERT_TRUE(supervisor.Start().ok());
   while (!done && rig.sim.Now() < 600.0) rig.sim.RunUntil(rig.sim.Now() + 1.0);
   ASSERT_TRUE(done);
   EXPECT_TRUE(report.status.ok()) << report.status.ToString();
@@ -480,7 +480,8 @@ std::string RunGoldenScenario(std::string* csv_out) {
   MetricsCollector collector(&rig.sim, rig.cluster.get(), /*period=*/1.0);
   collector.PublishTo(rig.tracer->registry());
   collector.Start();
-  rig.MigratePid();
+  const MigrationReport report = rig.MigratePid();
+  EXPECT_TRUE(report.status.ok()) << report.status.ToString();
   collector.Stop();
   if (csv_out != nullptr) *csv_out = obs::ToCsv(*rig.tracer->registry());
   return obs::ToChromeTraceJson(*rig.tracer);

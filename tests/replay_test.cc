@@ -62,7 +62,8 @@ struct ReplayRig {
     tenant.tenant_id = 1;
     tenant.layout.record_count = 8 * 1024;
     tenant.buffer_pool_bytes = kMiB;
-    cluster.AddTenant(0, tenant);
+    const auto added = cluster.AddTenant(0, tenant);
+    EXPECT_TRUE(added.ok()) << added.status().ToString();
   }
 };
 

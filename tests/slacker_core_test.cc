@@ -46,9 +46,9 @@ TEST(TenantDirectoryTest, UpdateUnknownRejected) {
 
 TEST(TenantDirectoryTest, TenantsOnFiltersByServer) {
   TenantDirectory dir;
-  dir.Register(1, 0);
-  dir.Register(2, 0);
-  dir.Register(3, 1);
+  ASSERT_TRUE(dir.Register(1, 0).ok());
+  ASSERT_TRUE(dir.Register(2, 0).ok());
+  ASSERT_TRUE(dir.Register(3, 1).ok());
   const auto on_zero = dir.TenantsOn(0);
   EXPECT_EQ(on_zero.size(), 2u);
   EXPECT_EQ(dir.TenantsOn(1).size(), 1u);
@@ -57,7 +57,7 @@ TEST(TenantDirectoryTest, TenantsOnFiltersByServer) {
 
 TEST(TenantDirectoryTest, ListenersNotifiedOnMove) {
   TenantDirectory dir;
-  dir.Register(1, 0);
+  ASSERT_TRUE(dir.Register(1, 0).ok());
   std::vector<uint64_t> moves;
   const int token = dir.AddListener(
       [&](uint64_t tenant, uint64_t from, uint64_t to) {
@@ -67,10 +67,10 @@ TEST(TenantDirectoryTest, ListenersNotifiedOnMove) {
           EXPECT_EQ(to, 3u);
         }
       });
-  dir.Update(1, 3);
+  ASSERT_TRUE(dir.Update(1, 3).ok());
   EXPECT_EQ(moves.size(), 1u);
   dir.RemoveListener(token);
-  dir.Update(1, 0);
+  ASSERT_TRUE(dir.Update(1, 0).ok());
   EXPECT_EQ(moves.size(), 1u);  // Listener removed; no second event.
 }
 

@@ -135,7 +135,7 @@ TEST(BinlogTest, ReadRangeInclusive) {
 
 TEST(BinlogTest, ReadRangeEmptyAndInverted) {
   Binlog log;
-  log.Append(Update(1, 1, 1));
+  ASSERT_TRUE(log.Append(Update(1, 1, 1)).ok());
   std::vector<LogRecord> out;
   ASSERT_TRUE(log.ReadRange(5, 4, &out).ok());
   EXPECT_TRUE(out.empty());

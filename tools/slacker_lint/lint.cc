@@ -1,0 +1,436 @@
+#include "tools/slacker_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace slacker::lint {
+namespace {
+
+/// Replaces the bodies of string literals, char literals and comments
+/// with spaces (newlines preserved) so the rule regexes never match
+/// inside quoted text. Raw strings are handled with the default `R"("`
+/// delimiter only — enough for this tree.
+std::string MaskCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' && i + 2 < in.size() &&
+                   in[i + 2] == '(') {
+          state = State::kRaw;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' && next == '"') {
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= s.size()) {
+    const auto nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// True if `raw` carries a NOLINT marker that suppresses `rule`: a bare
+/// NOLINT suppresses everything; NOLINT(a, b) suppresses only the named
+/// rules.
+bool Suppressed(const std::string& raw, const std::string& rule) {
+  const auto pos = raw.find("NOLINT");
+  if (pos == std::string::npos) return false;
+  const auto paren = pos + 6;
+  if (paren >= raw.size() || raw[paren] != '(') return true;  // Bare NOLINT.
+  const auto close = raw.find(')', paren);
+  const std::string list =
+      raw.substr(paren + 1, close == std::string::npos ? std::string::npos
+                                                       : close - paren - 1);
+  return list.find(rule) != std::string::npos;
+}
+
+bool PathContains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+const char* const kDeclKeywords[] = {
+    "return", "co_return", "else",    "delete", "throw", "new",
+    "case",   "goto",      "typedef", "using",  "if",    "while",
+    "for",    "switch",    "do",      "sizeof", "not"};
+
+bool IsDeclKeyword(const std::string& word) {
+  for (const char* k : kDeclKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+
+// --- Rule regexes (compiled once) ---------------------------------------
+
+const std::regex& WallclockRe() {
+  static const std::regex re(
+      R"((std::chrono::)?(system_clock|steady_clock|high_resolution_clock)\s*::|\b(gettimeofday|clock_gettime|localtime|gmtime|strftime)\s*\(|(^|[^\w.>])time\s*\()");
+  return re;
+}
+
+const std::regex& RawRandRe() {
+  static const std::regex re(
+      R"(\b(rand|srand|random)\s*\(|std::random_device)");
+  return re;
+}
+
+const std::regex& FloatEqRe() {
+  static const std::regex re(
+      R"([=!]=\s*[0-9]+\.[0-9]*(e-?[0-9]+)?f?\b|[0-9]+\.[0-9]*(e-?[0-9]+)?f?\s*[=!]=)");
+  return re;
+}
+
+const std::regex& UnorderedDeclRe() {
+  static const std::regex re(
+      R"(unordered_(map|set)\s*<[^;]*>\s+(\w+)\s*(;|=|\{))");
+  return re;
+}
+
+/// `Status Foo(` / `Result<T> Class::Foo(` declaration or definition
+/// starting a line (after optional specifiers).
+const std::regex& StatusDeclRe() {
+  static const std::regex re(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*(?:slacker::)?(Status|Result\s*<[^;{}()]*>)\s+(?:\w+::)*(\w+)\s*\()");
+  return re;
+}
+
+/// Any other `<type> Foo(` declaration starting a line; used to retire
+/// names that are ambiguous across the scanned tree.
+const std::regex& OtherDeclRe() {
+  static const std::regex re(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*((?:\w+::)*\w+)(?:\s*<[^;{}()]*>)?(?:\s*[*&]+)?\s+(?:\w+::)*(\w+)\s*\()");
+  return re;
+}
+
+/// A bare call in statement position: optional `obj.` / `ptr->` /
+/// `ns::` qualification chain, a callee name, `(`, and the line must
+/// end the statement (`);`).
+const std::regex& StatementCallRe() {
+  static const std::regex re(
+      R"(^\s*((?:[A-Za-z_]\w*(?:\(\))?(?:\.|->|::))*)([A-Za-z_]\w*)\s*\(.*\)\s*;\s*$)");
+  return re;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Linter::AddFile(const std::string& path, const std::string& content) {
+  FileEntry entry;
+  entry.path = path;
+  entry.raw = SplitLines(content);
+  entry.masked = SplitLines(MaskCommentsAndStrings(content));
+  CollectStatusNames(entry);
+  files_.push_back(std::move(entry));
+}
+
+void Linter::CollectStatusNames(const FileEntry& file) {
+  std::smatch m;
+  for (const std::string& line : file.masked) {
+    if (std::regex_search(line, m, StatusDeclRe())) {
+      status_names_.push_back(m[2].str());
+      continue;
+    }
+    if (std::regex_search(line, m, OtherDeclRe())) {
+      const std::string type = m[1].str();
+      const std::string name = m[2].str();
+      if (IsDeclKeyword(type) || IsDeclKeyword(name)) continue;
+      if (type == "Status" || type.rfind("Result", 0) == 0) continue;
+      other_names_.push_back(name);
+    }
+  }
+}
+
+std::vector<Finding> Linter::Run() {
+  std::sort(status_names_.begin(), status_names_.end());
+  status_names_.erase(
+      std::unique(status_names_.begin(), status_names_.end()),
+      status_names_.end());
+  std::sort(other_names_.begin(), other_names_.end());
+
+  std::vector<Finding> findings;
+  for (const FileEntry& file : files_) {
+    LintFile(file, &findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+void Linter::LintFile(const FileEntry& file,
+                      std::vector<Finding>* out) const {
+  const bool in_random_module = PathContains(file.path, "src/common/random");
+  const bool in_obs = PathContains(file.path, "src/obs");
+
+  // Names of std::unordered_* members/locals declared in this file, for
+  // the src/obs iteration rule.
+  std::vector<std::string> unordered_names;
+  if (in_obs) {
+    std::smatch m;
+    for (const std::string& line : file.masked) {
+      std::string rest = line;
+      while (std::regex_search(rest, m, UnorderedDeclRe())) {
+        unordered_names.push_back(m[2].str());
+        rest = m.suffix();
+      }
+    }
+  }
+
+  auto emit = [&](int line_index, const char* rule, std::string message) {
+    if (Suppressed(file.raw[line_index], rule)) return;
+    Finding f;
+    f.path = file.path;
+    f.line = line_index + 1;
+    f.rule = rule;
+    f.message = std::move(message);
+    out->push_back(std::move(f));
+  };
+
+  std::smatch m;
+  for (size_t i = 0; i < file.masked.size(); ++i) {
+    const std::string& line = file.masked[i];
+    if (line.empty()) continue;
+
+    if (std::regex_search(line, WallclockRe())) {
+      emit(static_cast<int>(i), "slacker-wallclock",
+           "wall-clock read; sim code must take time from the "
+           "sim::Simulator clock");
+    }
+
+    if (!in_random_module && std::regex_search(line, RawRandRe())) {
+      emit(static_cast<int>(i), "slacker-raw-rand",
+           "unseeded randomness; draw from an explicitly seeded "
+           "slacker::Rng (src/common/random.h) instead");
+    }
+
+    if (line.find("EXPECT_") == std::string::npos &&
+        line.find("ASSERT_") == std::string::npos &&
+        std::regex_search(line, FloatEqRe())) {
+      emit(static_cast<int>(i), "slacker-float-eq",
+           "exact floating-point comparison against a literal; use a "
+           "tolerance or NOLINT a deliberate sweep-point check");
+    }
+
+    if (in_obs) {
+      for (const std::string& name : unordered_names) {
+        const std::regex iter_re(
+            "for\\s*\\([^;:]*:\\s*" + name + "\\s*\\)|" + name +
+            "\\s*\\.\\s*begin\\s*\\(");
+        if (std::regex_search(line, iter_re)) {
+          emit(static_cast<int>(i), "slacker-unordered-iter",
+               "iteration over std::unordered container '" + name +
+                   "' in the byte-stable exporter layer; iterate a "
+                   "deterministically ordered structure instead");
+        }
+      }
+    }
+
+    if (std::regex_match(line, m, StatementCallRe())) {
+      const std::string name = m[2].str();
+      if (std::binary_search(status_names_.begin(), status_names_.end(),
+                             name) &&
+          !std::binary_search(other_names_.begin(), other_names_.end(),
+                              name)) {
+        // Skip continuation lines: if the previous non-blank masked
+        // line does not end a statement/block, this "call" is the tail
+        // of a larger expression.
+        bool continuation = false;
+        for (size_t j = i; j-- > 0;) {
+          const std::string& prev = file.masked[j];
+          const auto last = prev.find_last_not_of(" \t");
+          if (last == std::string::npos) continue;  // Blank line.
+          const char end = prev[last];
+          continuation = end != ';' && end != '{' && end != '}' &&
+                         end != ')' && end != ':';
+          break;
+        }
+        if (!continuation) {
+          emit(static_cast<int>(i), "slacker-dropped-status",
+               "result of Status/Result-returning call '" + name +
+                   "' is dropped; handle it, or cast to (void) with a "
+                   "comment explaining why ignoring is safe");
+        }
+      }
+    }
+  }
+}
+
+int AddPath(Linter* linter, const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status st = fs::status(path, ec);
+  if (ec || st.type() == fs::file_type::not_found) return -1;
+
+  auto add_one = [&](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    if (ext != ".h" && ext != ".cc" && ext != ".cpp") return 0;
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return 0;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter->AddFile(p.generic_string(), buf.str());
+    return 1;
+  };
+
+  if (fs::is_regular_file(st)) return add_one(path);
+
+  int added = 0;
+  std::vector<fs::path> entries;
+  for (fs::recursive_directory_iterator it(path, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (it->is_directory()) {
+      const std::string name = it->path().filename().string();
+      if (name == "testdata" || name.rfind("build", 0) == 0 ||
+          (!name.empty() && name[0] == '.')) {
+        it.disable_recursion_pending();
+      }
+      continue;
+    }
+    if (it->is_regular_file()) entries.push_back(it->path());
+  }
+  // Deterministic scan order regardless of directory enumeration order.
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& p : entries) added += add_one(p);
+  return added;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"path\": \"" << JsonEscape(f.path)
+        << "\", \"line\": " << f.line << ", \"rule\": \""
+        << JsonEscape(f.rule) << "\", \"message\": \""
+        << JsonEscape(f.message) << "\"}";
+  }
+  if (!findings.empty()) out << "\n";
+  out << "]\n";
+  return out.str();
+}
+
+std::string FindingsToText(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace slacker::lint

@@ -1,0 +1,89 @@
+#ifndef SLACKER_TOOLS_SLACKER_LINT_LINT_H_
+#define SLACKER_TOOLS_SLACKER_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace slacker::lint {
+
+/// One determinism-rule violation at a specific source line.
+struct Finding {
+  std::string path;
+  int line = 0;          // 1-based.
+  std::string rule;      // e.g. "slacker-wallclock".
+  std::string message;   // Human-readable explanation.
+
+  bool operator==(const Finding& other) const {
+    return path == other.path && line == other.line && rule == other.rule;
+  }
+};
+
+/// Rule identifiers (also the names accepted inside NOLINT(...)):
+///
+///   slacker-wallclock       wall-clock reads (system_clock, time(),
+///                           gettimeofday, ...) — the simulator clock is
+///                           the only time source allowed in sim code.
+///   slacker-raw-rand        rand()/srand()/std::random_device outside
+///                           src/common/random — all randomness must flow
+///                           from an explicitly seeded slacker::Rng.
+///   slacker-unordered-iter  iteration over a std::unordered_{map,set}
+///                           member inside src/obs/ — the exporters are
+///                           byte-stable, and unordered iteration order
+///                           is ABI/hash-seed dependent.
+///   slacker-float-eq        ==/!= against a floating-point literal —
+///                           exact float equality is usually a latent
+///                           tolerance bug (annotate deliberate
+///                           sweep-point comparisons with NOLINT).
+///   slacker-dropped-status  a call to a Status/Result-returning function
+///                           in statement position — the error is
+///                           silently dropped (mirrors [[nodiscard]] for
+///                           builds that swallow the warning).
+///
+/// Suppression: a line containing `// NOLINT` suppresses every rule on
+/// that line; `// NOLINT(rule-a, rule-b)` suppresses only those rules.
+
+/// Two-pass linter. AddFile() all translation units first (pass 1 builds
+/// the cross-file symbol table for slacker-dropped-status), then Run().
+class Linter {
+ public:
+  /// Registers a file's content for linting. `path` is used verbatim in
+  /// findings and for path-scoped rules (src/common/random exemption,
+  /// src/obs/ scoping).
+  void AddFile(const std::string& path, const std::string& content);
+
+  /// Lints every added file; findings are ordered by (path, line).
+  std::vector<Finding> Run();
+
+ private:
+  struct FileEntry {
+    std::string path;
+    std::vector<std::string> raw;     // Original lines (NOLINT detection).
+    std::vector<std::string> masked;  // Comments/strings blanked out.
+  };
+
+  void CollectStatusNames(const FileEntry& file);
+  void LintFile(const FileEntry& file, std::vector<Finding>* out) const;
+
+  std::vector<FileEntry> files_;
+  // Function names declared (somewhere in the scanned set) with a
+  // Status/Result return type...
+  std::vector<std::string> status_names_;
+  // ...and names also declared with a different return type; such
+  // ambiguous names are dropped from the statement-position rule.
+  std::vector<std::string> other_names_;
+};
+
+/// Reads `path` (recursively, for directories) and adds every *.h,
+/// *.cc, *.cpp file to `linter`. Returns the number of files added; -1
+/// if `path` does not exist.
+int AddPath(Linter* linter, const std::string& path);
+
+/// Findings as a deterministic machine-readable JSON array.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+/// "path:line: [rule] message" — one per line.
+std::string FindingsToText(const std::vector<Finding>& findings);
+
+}  // namespace slacker::lint
+
+#endif  // SLACKER_TOOLS_SLACKER_LINT_LINT_H_

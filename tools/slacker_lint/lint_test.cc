@@ -1,0 +1,132 @@
+#include "tools/slacker_lint/lint.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace slacker::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(SLACKER_LINT_TESTDATA) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Finding> LintSnippet(const std::string& fixture,
+                                 const std::string& as_path) {
+  Linter linter;
+  linter.AddFile(as_path, ReadFixture(fixture));
+  return linter.Run();
+}
+
+TEST(SlackerLintTest, ViolationsFixtureProducesExactFindings) {
+  const std::vector<Finding> findings =
+      LintSnippet("violations.snippet", "src/obs/violations.cc");
+
+  // (line, rule) pairs, in (path, line, rule) order. The fixture pins
+  // these line numbers in its comments.
+  const std::vector<std::pair<int, std::string>> expected = {
+      {12, "slacker-wallclock"},      {13, "slacker-wallclock"},
+      {17, "slacker-raw-rand"},       {18, "slacker-raw-rand"},
+      {22, "slacker-float-eq"},       {23, "slacker-float-eq"},
+      {31, "slacker-unordered-iter"}, {33, "slacker-unordered-iter"},
+      {37, "slacker-dropped-status"}, {38, "slacker-dropped-status"},
+  };
+  ASSERT_EQ(findings.size(), expected.size())
+      << FindingsToText(findings);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(findings[i].line, expected[i].first) << i;
+    EXPECT_EQ(findings[i].rule, expected[i].second) << i;
+    EXPECT_EQ(findings[i].path, "src/obs/violations.cc");
+    EXPECT_FALSE(findings[i].message.empty());
+  }
+}
+
+TEST(SlackerLintTest, CleanFixtureProducesNoFindings) {
+  const std::vector<Finding> findings =
+      LintSnippet("clean.snippet", "src/obs/clean.cc");
+  EXPECT_TRUE(findings.empty()) << FindingsToText(findings);
+}
+
+TEST(SlackerLintTest, RandomModuleIsExemptFromRawRand) {
+  Linter linter;
+  linter.AddFile("src/common/random.cc",
+                 "void Seed() { std::random_device rd; }\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(SlackerLintTest, UnorderedIterationOnlyFlaggedUnderObs) {
+  const std::string code =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m_;\n"
+      "void F() {\n"
+      "  for (const auto& kv : m_) {\n"
+      "  }\n"
+      "}\n";
+  Linter obs;
+  obs.AddFile("src/obs/exporter.cc", code);
+  ASSERT_EQ(obs.Run().size(), 1u);
+
+  Linter engine;
+  engine.AddFile("src/engine/cache.cc", code);
+  EXPECT_TRUE(engine.Run().empty());
+}
+
+TEST(SlackerLintTest, AmbiguousNamesAreNotFlagged) {
+  // `Start` returns Status in one class and void in another: the
+  // statement-position rule must stay quiet about it.
+  Linter linter;
+  linter.AddFile("src/a.h", "Status Start();\n");
+  linter.AddFile("src/b.h", "void Start();\n");
+  linter.AddFile("src/c.cc", "void F() {\n  Start();\n}\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(SlackerLintTest, QualifiedAndMemberCallsAreFlagged) {
+  Linter linter;
+  linter.AddFile("src/a.h", "Status Replay(int x);\n");
+  linter.AddFile("src/c.cc",
+                 "void F(Thing* t) {\n"
+                 "  wal::Replay(1);\n"
+                 "  t->Replay(2);\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 2u) << FindingsToText(findings);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(SlackerLintTest, ContinuationLinesAreNotStatementPosition) {
+  Linter linter;
+  linter.AddFile("src/a.h", "Status Baz(int x);\n");
+  linter.AddFile("src/c.cc",
+                 "void F() {\n"
+                 "  Consume(1,\n"
+                 "          Baz(2));\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty()) << FindingsToText(linter.Run());
+}
+
+TEST(SlackerLintTest, JsonReportIsStableAndEscaped) {
+  std::vector<Finding> findings;
+  Finding f;
+  f.path = "src/a \"quoted\".cc";
+  f.line = 7;
+  f.rule = "slacker-wallclock";
+  f.message = "msg";
+  findings.push_back(f);
+  const std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(FindingsToJson({}), "[]\n");
+}
+
+}  // namespace
+}  // namespace slacker::lint

@@ -1,0 +1,71 @@
+// slacker_lint — determinism checker for the Slacker tree.
+//
+// Usage:
+//   slacker_lint [--report findings.json] <file-or-dir>...
+//
+// Scans *.h / *.cc / *.cpp under the given paths for the determinism
+// rules documented in lint.h. Exits 0 when the tree is clean, 1 when
+// any finding survives NOLINT suppression, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tools/slacker_lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "slacker_lint: --report needs a path\n");
+        return 2;
+      }
+      report_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: slacker_lint [--report findings.json] "
+                   "<file-or-dir>...\n");
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: slacker_lint [--report findings.json] "
+                 "<file-or-dir>...\n");
+    return 2;
+  }
+
+  slacker::lint::Linter linter;
+  int scanned = 0;
+  for (const std::string& path : paths) {
+    const int added = slacker::lint::AddPath(&linter, path);
+    if (added < 0) {
+      std::fprintf(stderr, "slacker_lint: no such path: %s\n", path.c_str());
+      return 2;
+    }
+    scanned += added;
+  }
+
+  const std::vector<slacker::lint::Finding> findings = linter.Run();
+  std::fputs(slacker::lint::FindingsToText(findings).c_str(), stdout);
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "slacker_lint: cannot write %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+    out << slacker::lint::FindingsToJson(findings);
+  }
+
+  std::fprintf(stderr, "slacker_lint: %d file(s), %zu finding(s)\n", scanned,
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
