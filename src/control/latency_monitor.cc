@@ -9,12 +9,18 @@ namespace slacker::control {
 
 LatencyMonitor::LatencyMonitor(SimTime window) : window_(window) {}
 
-void LatencyMonitor::Record(SimTime now, double latency_ms) {
-  window_.Add(now, latency_ms);
-  samples_.emplace_back(now, latency_ms);
+void LatencyMonitor::PruneExpired(SimTime now) {
+  // Same half-open (now - window, now] convention as
+  // SlidingWindowMean::Evict: a sample exactly `window` old is out.
   while (!samples_.empty() && samples_.front().first <= now - window()) {
     samples_.pop_front();
   }
+}
+
+void LatencyMonitor::Record(SimTime now, double latency_ms) {
+  window_.Add(now, latency_ms);
+  samples_.emplace_back(now, latency_ms);
+  PruneExpired(now);
   ++total_recorded_;
   // Keep the "last known average" fresh even if nobody polls between
   // recordings, so a later empty-window read reports recent reality.
@@ -47,20 +53,34 @@ size_t LatencyMonitor::WindowCount(SimTime now) {
   return window_.CountAt(now);
 }
 
+bool LatencyMonitor::WithinGuardBand(SimTime now, double setpoint_ms,
+                                     double band_fraction) {
+  if (setpoint_ms <= 0.0) return false;
+  return WindowAverageMs(now) >= setpoint_ms * (1.0 - band_fraction);
+}
+
 double LatencyMonitor::WindowPercentileMs(SimTime now, double percentile) {
-  while (!samples_.empty() && samples_.front().first <= now - window()) {
-    samples_.pop_front();
-  }
+  PruneExpired(now);
   if (samples_.empty()) return WindowAverageMs(now);
   std::vector<double> values;
   values.reserve(samples_.size());
   for (const auto& [t, v] : samples_) values.push_back(v);
-  std::sort(values.begin(), values.end());
-  if (percentile <= 0.0) return values.front();
-  if (percentile >= 100.0) return values.back();
+  if (percentile <= 0.0) {
+    return *std::min_element(values.begin(), values.end());
+  }
+  if (percentile >= 100.0) {
+    return *std::max_element(values.begin(), values.end());
+  }
+  // Nearest-rank percentile via selection, not a full sort — this runs
+  // once per controller tick per monitor, and the window can hold
+  // thousands of completions on a busy server.
   const auto rank = static_cast<size_t>(
       std::ceil(percentile / 100.0 * static_cast<double>(values.size())));
-  return values[rank == 0 ? 0 : rank - 1];
+  const size_t index = rank == 0 ? 0 : rank - 1;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(index),
+                   values.end());
+  return values[index];
 }
 
 }  // namespace slacker::control

@@ -39,10 +39,24 @@ class LatencyMonitor {
   /// Completions currently inside the window.
   size_t WindowCount(SimTime now);
 
+  /// True when the smoothed latency signal at `now` has climbed to
+  /// within `band_fraction` of `setpoint_ms` (or past it):
+  ///   WindowAverageMs(now) >= setpoint_ms * (1 - band_fraction).
+  /// The rebalancer's admission controller uses this to defer
+  /// migrations involving a server whose latency has no slack left —
+  /// migration I/O would push it straight through the PID setpoint.
+  bool WithinGuardBand(SimTime now, double setpoint_ms, double band_fraction);
+
   uint64_t total_recorded() const { return total_recorded_; }
   SimTime window() const { return window_.window(); }
 
  private:
+  /// Evicts percentile samples that have left the window. Mirrors
+  /// SlidingWindowMean's convention exactly — the window is
+  /// (now - window, now], so a sample exactly `window` old is evicted
+  /// by both the mean and the percentile paths.
+  void PruneExpired(SimTime now);
+
   SlidingWindowMean window_;
   // Parallel record of (time, latency) for percentile queries.
   std::deque<std::pair<SimTime, double>> samples_;

@@ -131,4 +131,38 @@ void EmitSlaViolation(Tracer* tracer, const SlaViolation& e) {
   tracer->RecordEvent(std::move(event));
 }
 
+void EmitRebalanceDecision(Tracer* tracer, const RebalanceDecision& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, RebalancerTrack(),
+                            e.admitted ? "plan_admitted" : "plan_deferred",
+                            "rebalance");
+  event.args.emplace_back("tenant", static_cast<double>(e.tenant_id));
+  event.args.emplace_back("source", static_cast<double>(e.source_server));
+  event.args.emplace_back("target", static_cast<double>(e.target_server));
+  event.notes.emplace_back("kind", e.kind);
+  event.notes.emplace_back("reason", e.reason);
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitRebalanceTick(Tracer* tracer, const RebalanceTick& e) {
+  if (Off(tracer)) return;
+  Event event =
+      MakeInstant(tracer, RebalancerTrack(), "rebalance_tick", "rebalance");
+  event.args.emplace_back("overloaded",
+                          static_cast<double>(e.overloaded_servers));
+  event.args.emplace_back("plans", static_cast<double>(e.plans));
+  event.args.emplace_back("admitted", static_cast<double>(e.admitted));
+  event.args.emplace_back("deferred", static_cast<double>(e.deferred));
+  event.args.emplace_back("inflight", static_cast<double>(e.inflight));
+  tracer->RecordEvent(std::move(event));
+
+  // Companion counter so the viewer graphs hotspot count over time.
+  Event counter = MakeInstant(tracer, RebalancerTrack(),
+                              "overloaded_servers", "rebalance");
+  counter.kind = EventKind::kCounter;
+  counter.args.emplace_back("servers",
+                            static_cast<double>(e.overloaded_servers));
+  tracer->RecordEvent(std::move(counter));
+}
+
 }  // namespace slacker::obs

@@ -19,6 +19,7 @@ std::string SupervisorTrack(uint64_t tenant_id);
 std::string ServerTrack(uint64_t server_id);
 inline const char* FaultTrack() { return "faults"; }
 inline const char* SlaTrack() { return "sla"; }
+inline const char* RebalancerTrack() { return "rebalancer"; }
 
 /// A migration moved between phases (negotiate → snapshot → ...).
 struct PhaseTransition {
@@ -99,6 +100,31 @@ struct SlaViolation {
   double threshold_ms = 0.0;
 };
 void EmitSlaViolation(Tracer* tracer, const SlaViolation& e);
+
+/// The rebalancer's admission verdict on one migration plan — the
+/// trace answers *why* a plan ran or was held back.
+struct RebalanceDecision {
+  uint64_t tenant_id = 0;
+  uint64_t source_server = 0;
+  uint64_t target_server = 0;
+  bool admitted = false;
+  /// "relief" or "consolidation".
+  std::string kind;
+  /// "admitted", or the deferral reason: "tenant-busy",
+  /// "budget:total", "budget:source", "budget:target", "guard-band".
+  std::string reason;
+};
+void EmitRebalanceDecision(Tracer* tracer, const RebalanceDecision& e);
+
+/// One rebalancer control-loop tick's summary.
+struct RebalanceTick {
+  int overloaded_servers = 0;
+  int plans = 0;
+  int admitted = 0;
+  int deferred = 0;
+  int inflight = 0;
+};
+void EmitRebalanceTick(Tracer* tracer, const RebalanceTick& e);
 
 }  // namespace slacker::obs
 

@@ -342,6 +342,15 @@ void Cluster::RecoverServer(uint64_t server_id) {
   }
 }
 
+std::vector<uint64_t> Cluster::UpServerIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(servers_.size());
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i]->up()) ids.push_back(i);
+  }
+  return ids;
+}
+
 bool Cluster::ServerUp(uint64_t server_id) const {
   return server_id < servers_.size() && servers_[server_id]->up();
 }

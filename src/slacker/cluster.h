@@ -105,6 +105,9 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   // --- Topology ---------------------------------------------------
   Server* server(uint64_t id);
   size_t num_servers() const { return servers_.size(); }
+  /// Ids of the servers currently up — the fleet the rebalancer plans
+  /// over (a crashed server is neither a migration source nor target).
+  std::vector<uint64_t> UpServerIds() const;
   TenantDirectory* directory() override { return &directory_; }
   /// The directional channel carrying from→to traffic (created on first
   /// use). Exposed so chaos tests can inject faults into it.

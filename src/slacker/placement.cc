@@ -41,6 +41,28 @@ int PlacementAdvisor::PickTarget(const std::vector<ServerLoadStat>& servers,
   return best;
 }
 
+int PlacementAdvisor::PickConsolidationTarget(
+    const std::vector<ServerLoadStat>& servers, uint64_t exclude_server,
+    double demand, const std::vector<double>& projected) const {
+  int best = -1;
+  double best_util = -1.0;
+  for (size_t i = 0; i < servers.size(); ++i) {
+    if (servers[i].server_id == exclude_server) continue;
+    // A fellow consolidation candidate is never a target: it is about
+    // to be emptied itself, and refilling it defeats the shutdown.
+    if (servers[i].utilization <= options_.consolidation_threshold) continue;
+    const double after = projected[i] + demand;
+    if (after > options_.overload_threshold - options_.target_headroom) {
+      continue;
+    }
+    if (projected[i] > best_util) {
+      best_util = projected[i];
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
 std::vector<MigrationPlan> PlacementAdvisor::PlanRelief(
     const std::vector<ServerLoadStat>& servers) const {
   std::vector<MigrationPlan> plans;
@@ -116,8 +138,8 @@ std::vector<MigrationPlan> PlacementAdvisor::PlanConsolidation(
     std::vector<double> trial = projected;
     bool ok = true;
     for (const TenantLoadStat& t : server.tenants) {
-      const int target =
-          PickTarget(servers, server.server_id, t.demand, trial);
+      const int target = PickConsolidationTarget(servers, server.server_id,
+                                                 t.demand, trial);
       if (target < 0) {
         ok = false;
         break;
@@ -145,6 +167,19 @@ std::vector<ServerLoadStat> CollectClusterStats(
     std::vector<std::pair<uint64_t, uint64_t>>* ops_baseline) {
   std::vector<ServerLoadStat> stats;
   std::vector<std::pair<uint64_t, uint64_t>> new_baseline;
+  // Sorted copy of the previous baseline so the per-tenant lookup is
+  // O(log T) instead of a linear scan (O(T^2) per sample hurts at the
+  // fleet bench's 128 tenants). stable_sort + upper_bound preserve the
+  // scan's last-match-wins semantics should an id ever repeat.
+  std::vector<std::pair<uint64_t, uint64_t>> sorted_baseline;
+  if (ops_baseline != nullptr) {
+    sorted_baseline = *ops_baseline;
+    std::stable_sort(sorted_baseline.begin(), sorted_baseline.end(),
+                     [](const std::pair<uint64_t, uint64_t>& a,
+                        const std::pair<uint64_t, uint64_t>& b) {
+                       return a.first < b.first;
+                     });
+  }
   for (size_t sid = 0; sid < cluster->num_servers(); ++sid) {
     Server* server = cluster->server(sid);
     ServerLoadStat stat;
@@ -158,9 +193,15 @@ std::vector<ServerLoadStat> CollectClusterStats(
     for (uint64_t tenant_id : server->tenants()->TenantIds()) {
       const engine::TenantDb* db = server->tenants()->Get(tenant_id);
       uint64_t prev = 0;
-      if (ops_baseline != nullptr) {
-        for (const auto& [id, ops] : *ops_baseline) {
-          if (id == tenant_id) prev = ops;
+      if (!sorted_baseline.empty()) {
+        const auto it = std::upper_bound(
+            sorted_baseline.begin(), sorted_baseline.end(), tenant_id,
+            [](uint64_t id, const std::pair<uint64_t, uint64_t>& entry) {
+              return id < entry.first;
+            });
+        if (it != sorted_baseline.begin() &&
+            std::prev(it)->first == tenant_id) {
+          prev = std::prev(it)->second;
         }
       }
       const uint64_t now = db->ops_executed();

@@ -72,10 +72,20 @@ class PlacementAdvisor {
 
  private:
   /// Least-loaded server (by projected utilization) able to absorb
-  /// `demand` under threshold-headroom; -1 if none.
+  /// `demand` under threshold-headroom; -1 if none. Worst-fit spreads
+  /// relief moves thin so no target becomes the next hotspot.
   int PickTarget(const std::vector<ServerLoadStat>& servers,
                  uint64_t exclude_server, double demand,
                  const std::vector<double>& projected) const;
+  /// Best-fit counterpart for consolidation: the *busiest* server (by
+  /// projected utilization) that still absorbs `demand` under
+  /// threshold-headroom, never a server itself at or below the
+  /// consolidation threshold (it is a candidate to be emptied — packing
+  /// tenants into it would refill a server scheduled for shutdown);
+  /// -1 if none.
+  int PickConsolidationTarget(const std::vector<ServerLoadStat>& servers,
+                              uint64_t exclude_server, double demand,
+                              const std::vector<double>& projected) const;
 
   PlacementOptions options_;
 };

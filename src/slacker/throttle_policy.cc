@@ -21,9 +21,9 @@ PidThrottlePolicy::PidThrottlePolicy(const control::PidConfig& config,
       feedback_percentile_(feedback_percentile) {}
 
 double PidThrottlePolicy::InitialRateMbps() {
-  // The controller ramps from zero: it will "ramp up the speed of
-  // migration until transaction latency is close to the setpoint"
-  // (§4.2.2) rather than start fast and disrupt the workload.
+  // The controller ramps from the clamp floor: it will "ramp up the
+  // speed of migration until transaction latency is close to the
+  // setpoint" (§4.2.2) rather than start fast and disrupt the workload.
   pid_.Reset(pid_.config().output_min);
   return pid_.output();
 }
@@ -62,7 +62,10 @@ AdaptivePidThrottlePolicy::AdaptivePidThrottlePolicy(
       target_monitor_(target_monitor) {}
 
 double AdaptivePidThrottlePolicy::InitialRateMbps() {
-  pid_.Reset(0.0);
+  // Same contract as PidThrottlePolicy: the ramp starts at the clamp
+  // floor, not a hard 0.0 — with a non-zero output_min the adaptive
+  // controller must never open below the configured minimum rate.
+  pid_.Reset(pid_.inner().config().output_min);
   return pid_.output();
 }
 

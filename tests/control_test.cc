@@ -246,6 +246,61 @@ TEST(LatencyMonitorTest, PercentileTracksWindowNotHistory) {
   EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(5.0, 99.0), 100.0);
 }
 
+TEST(LatencyMonitorTest, MeanAndPercentileShareEvictionBoundary) {
+  LatencyMonitor monitor(3.0);
+  // One sample that will be *exactly* `window` old at t=4.0, and one
+  // comfortably inside. The window is (now - 3, now]: both the mean and
+  // the percentile path must evict the boundary sample together — a
+  // split convention would make the p100 disagree with the mean about
+  // which samples exist.
+  monitor.Record(1.0, 1000.0);
+  monitor.Record(3.5, 100.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowAverageMs(4.0), 100.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(4.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(4.0, 0.0), 100.0);
+  EXPECT_EQ(monitor.WindowCount(4.0), 1u);
+  // One tick earlier both paths still include it.
+  LatencyMonitor earlier(3.0);
+  earlier.Record(1.0, 1000.0);
+  earlier.Record(3.5, 100.0);
+  EXPECT_DOUBLE_EQ(earlier.WindowAverageMs(3.9), 550.0);
+  EXPECT_DOUBLE_EQ(earlier.WindowPercentileMs(3.9, 100.0), 1000.0);
+}
+
+TEST(LatencyMonitorTest, PercentileSelectionHandlesUnsortedArrivals) {
+  LatencyMonitor monitor(30.0);
+  // Completion order is not value order; the nth_element selection must
+  // still return exact nearest-rank percentiles.
+  const double values[] = {70.0, 10.0, 90.0, 30.0, 50.0,
+                           20.0, 100.0, 60.0, 40.0, 80.0};
+  double t = 1.0;
+  for (double v : values) monitor.Record(t += 0.1, v);
+  EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(t, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(t, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(t, 90.0), 90.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(t, 95.0), 100.0);
+  // Selection must not have corrupted later queries (nth_element
+  // permutes its scratch copy, never the live deque).
+  EXPECT_DOUBLE_EQ(monitor.WindowPercentileMs(t, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(monitor.WindowAverageMs(t), 55.0);
+}
+
+TEST(LatencyMonitorTest, WithinGuardBand) {
+  LatencyMonitor monitor(3.0);
+  monitor.Record(1.0, 790.0);
+  // Setpoint 1000, band 0.2: the guard trips at >= 800.
+  EXPECT_FALSE(monitor.WithinGuardBand(1.0, 1000.0, 0.2));
+  // Zero band only trips at the setpoint itself.
+  EXPECT_FALSE(monitor.WithinGuardBand(1.0, 1000.0, 0.0));
+  monitor.Record(1.5, 850.0);  // Mean now 820: inside the band.
+  EXPECT_TRUE(monitor.WithinGuardBand(1.5, 1000.0, 0.2));
+  monitor.Record(2.0, 5000.0);  // Mean 2213: past the setpoint.
+  EXPECT_TRUE(monitor.WithinGuardBand(2.0, 1000.0, 0.2));
+  EXPECT_TRUE(monitor.WithinGuardBand(2.0, 1000.0, 0.0));
+  // A disabled setpoint never gates admission.
+  EXPECT_FALSE(monitor.WithinGuardBand(2.0, 0.0, 0.2));
+}
+
 TEST(LatencyMonitorTest, ProbeNeverLowersSignal) {
   LatencyMonitor monitor(3.0);
   monitor.Record(1.0, 5000);

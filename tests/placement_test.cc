@@ -131,6 +131,81 @@ TEST(PlanConsolidationTest, SkipsWhenTenantsCannotAllFit) {
   EXPECT_TRUE(plans.empty());
 }
 
+TEST(PlanReliefTest, AllServersOverloadedYieldsNoPlans) {
+  PlacementAdvisor advisor;
+  // Fleet-wide saturation: nowhere has headroom, so the advisor must
+  // return nothing (adding migration I/O anywhere only makes it worse)
+  // rather than shuffling load between hotspots.
+  const auto plans = advisor.PlanRelief({
+      S(0, 0.90, {T(1, 0.4, 512)}),
+      S(1, 0.85, {T(2, 0.4, 512)}),
+      S(2, 0.80, {T(3, 0.3, 256)}),
+  });
+  EXPECT_TRUE(plans.empty());
+}
+
+TEST(PlanReliefTest, DemandExactlyEqualToExcessClearsHotspot) {
+  PlacementAdvisor advisor;  // Threshold 0.70.
+  // Server 0 at 0.9: excess is exactly 0.2. Tenant 1's demand is
+  // exactly 0.2 — it must count as clearing the hotspot (boundary is
+  // inclusive), so the small exact-match tenant wins over the
+  // bigger-demand tenant 2 on the least-data-to-copy rule.
+  const auto plans = advisor.PlanRelief({
+      S(0, 0.9, {T(1, 0.2, 512), T(2, 0.5, 2048)}),
+      S(1, 0.1, {}),
+  });
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].tenant_id, 1u);
+}
+
+TEST(PlanConsolidationTest, NeverRefillsAFellowCandidate) {
+  PlacementAdvisor advisor;  // Consolidation threshold 0.15, cap 0.6.
+  // Regression: the consolidation path used to reuse the relief
+  // worst-fit picker, which chose the *least*-loaded viable target —
+  // here server 1, itself a below-threshold candidate. The batch then
+  // refilled a server scheduled for shutdown and the next pass drained
+  // it again (churn). Best-fit with candidate exclusion packs both
+  // candidates' tenants into the busy half of the fleet instead.
+  const auto plans = advisor.PlanConsolidation({
+      S(0, 0.08, {T(1, 0.05, 256)}),
+      S(1, 0.10, {T(2, 0.06, 256)}),
+      S(2, 0.40, {T(8, 0.40, 1024)}),
+      S(3, 0.50, {T(9, 0.50, 1024)}),
+  });
+  ASSERT_EQ(plans.size(), 2u);
+  for (const auto& plan : plans) {
+    EXPECT_NE(plan.target_server, 0u) << "refilled a candidate";
+    EXPECT_NE(plan.target_server, 1u) << "refilled a candidate";
+  }
+  // Best-fit: tenant 1 (0.05) goes to the *fullest* server with room —
+  // server 3 (0.50 + 0.05 = 0.55, under the 0.60 cap). Worst-fit would
+  // have spread it to server 2.
+  EXPECT_EQ(plans[0].tenant_id, 1u);
+  EXPECT_EQ(plans[0].target_server, 3u);
+  // Server 3 is now full, so tenant 2 packs into server 2.
+  EXPECT_EQ(plans[1].tenant_id, 2u);
+  EXPECT_EQ(plans[1].target_server, 2u);
+}
+
+TEST(PlanConsolidationTest, AbortedBatchReleasesItsReservations) {
+  PlacementAdvisor advisor;  // Threshold 0.15, cap 0.6.
+  // Server 0 is tried first (least loaded): tenant 1 fits on server 2
+  // (0.52 + 0.06 = 0.58) but tenant 2 fits nowhere, so the whole batch
+  // must roll back — including tenant 1's trial reservation. Server 1's
+  // tenant 3 then still fits (0.52 + 0.07 = 0.59 <= 0.6); if the
+  // aborted batch leaked its reservation the fleet would look full and
+  // no plan at all would come out.
+  const auto plans = advisor.PlanConsolidation({
+      S(0, 0.05, {T(1, 0.06, 256), T(2, 0.10, 256)}),
+      S(1, 0.10, {T(3, 0.07, 256)}),
+      S(2, 0.52, {T(9, 0.52, 1024)}),
+  });
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].tenant_id, 3u);
+  EXPECT_EQ(plans[0].source_server, 1u);
+  EXPECT_EQ(plans[0].target_server, 2u);
+}
+
 TEST(CollectClusterStatsTest, ApportionsUtilizationByOps) {
   sim::Simulator sim;
   ClusterOptions cluster_options;

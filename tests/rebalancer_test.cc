@@ -1,0 +1,260 @@
+// Tests for the autonomic rebalancer: closed-loop hotspot relief under
+// the concurrent-migration budget, guard-band admission, the
+// re-plan-after-handover path, and calm-fleet consolidation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/slacker/cluster.h"
+#include "src/slacker/rebalancer.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker {
+namespace {
+
+struct TenantSpec {
+  uint64_t server;
+  double interarrival;  // Mean seconds between transactions.
+};
+
+// A small live fleet: one 8 MiB tenant per spec with a 1/8-sized buffer
+// pool (so ~7/8 of operations hit the disk) and an open-loop client.
+// With the calibrated paper disk one transaction costs ~73 ms of disk
+// time, so interarrival 0.18 is a ~0.4-utilization tenant and 1.0 a
+// ~0.07 one.
+class FleetFixture {
+ public:
+  FleetFixture(int servers, const std::vector<TenantSpec>& specs) {
+    ClusterOptions options;
+    options.num_servers = servers;
+    cluster_ = std::make_unique<Cluster>(&sim_, options);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const uint64_t id = i + 1;
+      engine::TenantConfig tenant;
+      tenant.tenant_id = id;
+      tenant.layout.record_count = 8 * 1024;
+      tenant.buffer_pool_bytes = kMiB;
+      EXPECT_TRUE(cluster_->AddTenant(specs[i].server, tenant).ok());
+      workload::YcsbConfig ycsb;
+      ycsb.record_count = tenant.layout.record_count;
+      ycsb.mean_interarrival = specs[i].interarrival;
+      workloads_.push_back(
+          std::make_unique<workload::YcsbWorkload>(ycsb, id, id * 17));
+      pools_.push_back(std::make_unique<workload::ClientPool>(
+          &sim_, workloads_.back().get(), cluster_.get(),
+          cluster_->MakeLatencyObserver()));
+      cluster_->AttachClientPool(id, pools_.back().get());
+      pools_.back()->Start();
+    }
+  }
+
+  ~FleetFixture() {
+    for (auto& pool : pools_) pool->Stop();
+  }
+
+  /// Fast deterministic migrations so tests exercise the control loop,
+  /// not the throttle (which has its own suites).
+  static RebalancerOptions FastOptions() {
+    RebalancerOptions options;
+    options.period = 5.0;
+    options.replan_delay = 0.5;
+    options.migration.throttle = ThrottleKind::kFixed;
+    options.migration.fixed_rate_mbps = 30.0;
+    options.migration.prepare.base_seconds = 0.2;
+    options.migration.pid.setpoint = 1000.0;
+    return options;
+  }
+
+  /// Runs until `deadline`, polling every second; returns the first
+  /// time the predicate held, or a negative value if it never did.
+  template <typename Pred>
+  SimTime RunUntilHolds(SimTime deadline, Pred pred) {
+    while (sim_.Now() < deadline) {
+      sim_.RunUntil(sim_.Now() + 1.0);
+      if (pred()) return sim_.Now();
+    }
+    return -1.0;
+  }
+
+  sim::Simulator* sim() { return &sim_; }
+  Cluster* cluster() { return cluster_.get(); }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<workload::YcsbWorkload>> workloads_;
+  std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+};
+
+TEST(RebalancerOptionsTest, Validation) {
+  EXPECT_TRUE(RebalancerOptions().Validate().ok());
+  RebalancerOptions bad;
+  bad.period = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = RebalancerOptions();
+  bad.replan_delay = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = RebalancerOptions();
+  bad.max_concurrent_total = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = RebalancerOptions();
+  bad.guard_band_fraction = 1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(RebalancerTest, StartStopLifecycle) {
+  FleetFixture fleet(2, {{0, 1.0}});
+  Rebalancer rebalancer(fleet.cluster(), FleetFixture::FastOptions());
+  EXPECT_FALSE(rebalancer.running());
+  ASSERT_TRUE(rebalancer.Start().ok());
+  EXPECT_TRUE(rebalancer.running());
+  EXPECT_FALSE(rebalancer.Start().ok()) << "double start must be rejected";
+  rebalancer.Stop();
+  EXPECT_FALSE(rebalancer.running());
+}
+
+// The acceptance scenario in miniature: one server driven past the
+// overload threshold converges to zero overloaded servers without the
+// loop ever exceeding its concurrency budget.
+TEST(RebalancerTest, RelievesHotspotWithinBudget) {
+  // Server 0 carries two ~0.4-utilization tenants (~0.8 total, over
+  // the 0.7 threshold); servers 1 and 2 idle along near 0.07.
+  FleetFixture fleet(3, {{0, 0.18}, {0, 0.18}, {1, 1.0}, {2, 1.0}});
+  fleet.sim()->RunUntil(10.0);
+
+  RebalancerOptions options = FleetFixture::FastOptions();
+  // Isolate relief: otherwise the loop later consolidates the idle
+  // servers' tenants (correctly) and muddies the placement assertions.
+  options.consolidate = false;
+  Rebalancer rebalancer(fleet.cluster(), options);
+  ASSERT_TRUE(rebalancer.Start().ok());
+
+  const SimTime detected = fleet.RunUntilHolds(
+      100.0, [&] { return rebalancer.stats().last_overloaded > 0; });
+  ASSERT_GT(detected, 0.0) << "hotspot never detected";
+
+  const SimTime converged = fleet.RunUntilHolds(200.0, [&] {
+    return rebalancer.stats().last_overloaded == 0 &&
+           rebalancer.stats().migrations_ok >= 1 &&
+           rebalancer.inflight() == 0;
+  });
+  ASSERT_GT(converged, 0.0) << "fleet never converged";
+  // Converged state is stable, not a transient dip.
+  fleet.sim()->RunUntil(converged + 15.0);
+  rebalancer.Stop();
+
+  const RebalancerStats& stats = rebalancer.stats();
+  EXPECT_EQ(stats.last_overloaded, 0);
+  EXPECT_EQ(stats.migrations_failed, 0u);
+  EXPECT_GE(stats.migrations_ok, 1u);
+  EXPECT_LE(stats.max_inflight_observed, 4u) << "budget exceeded";
+  // Relief moved load off the hotspot.
+  EXPECT_LT(fleet.cluster()->server(0)->tenants()->TenantIds().size(), 2u);
+}
+
+// Two simultaneous hotspots against a fleet-wide budget of one: the
+// second plan must be deferred, then picked up by the re-plan that
+// follows the first handover — well before the next periodic tick.
+TEST(RebalancerTest, TotalBudgetDefersSecondPlanUntilReplan) {
+  FleetFixture fleet(4, {{0, 0.18},
+                         {0, 0.18},
+                         {1, 0.18},
+                         {1, 0.18},
+                         {2, 1.0},
+                         {3, 1.0}});
+  fleet.sim()->RunUntil(10.0);
+
+  RebalancerOptions options = FleetFixture::FastOptions();
+  options.max_concurrent_total = 1;
+  options.consolidate = false;
+  Rebalancer rebalancer(fleet.cluster(), options);
+  ASSERT_TRUE(rebalancer.Start().ok());
+
+  const SimTime converged = fleet.RunUntilHolds(300.0, [&] {
+    return rebalancer.stats().migrations_ok >= 2 &&
+           rebalancer.stats().last_overloaded == 0 &&
+           rebalancer.inflight() == 0;
+  });
+  ASSERT_GT(converged, 0.0) << "both hotspots should eventually resolve";
+  rebalancer.Stop();
+
+  const RebalancerStats& stats = rebalancer.stats();
+  EXPECT_GE(stats.deferred_budget, 1u)
+      << "the second same-tick plan should have hit the total budget";
+  EXPECT_EQ(stats.max_inflight_observed, 1u)
+      << "budget of one means strictly serial migrations";
+  EXPECT_EQ(stats.migrations_failed, 0u);
+  // Re-plan ticks fire between periodic ones, so more ticks ran than
+  // the period alone accounts for.
+  const uint64_t periodic_ticks =
+      static_cast<uint64_t>((converged - 10.0) / options.period) + 1;
+  EXPECT_GT(stats.ticks, periodic_ticks)
+      << "handover completion should have triggered extra re-plan ticks";
+}
+
+// A target whose latency is already inside the guard band must not
+// receive a migration; once its latency falls back out of the band the
+// same plan is admitted.
+TEST(RebalancerTest, GuardBandDefersThenAdmits) {
+  FleetFixture fleet(2, {{0, 0.18}, {0, 0.18}});
+  fleet.sim()->RunUntil(10.0);
+
+  RebalancerOptions options = FleetFixture::FastOptions();
+  options.period = 1000.0;  // Manual ticks only.
+  options.guard_band_fraction = 0.2;  // Trips at >= 800 ms.
+  Rebalancer rebalancer(fleet.cluster(), options);
+  ASSERT_TRUE(rebalancer.Start().ok());
+  fleet.sim()->RunUntil(20.0);
+
+  // The only possible target (server 1) reports latency just inside
+  // the band: every plan this tick must be deferred.
+  control::LatencyMonitor* monitor = fleet.cluster()->server(1)->monitor();
+  monitor->Record(fleet.sim()->Now(), 900.0);
+  rebalancer.TickNow();
+  EXPECT_GE(rebalancer.stats().last_overloaded, 1);
+  EXPECT_GE(rebalancer.stats().deferred_guard_band, 1u);
+  EXPECT_EQ(rebalancer.stats().plans_admitted, 0u);
+  EXPECT_EQ(rebalancer.inflight(), 0u);
+
+  // Latency subsides (fresh low samples push the 900 out of the 3 s
+  // window): the next tick admits the relief plan.
+  fleet.sim()->RunUntil(25.0);
+  monitor->Record(fleet.sim()->Now() - 0.1, 100.0);
+  monitor->Record(fleet.sim()->Now(), 100.0);
+  rebalancer.TickNow();
+  EXPECT_EQ(rebalancer.stats().plans_admitted, 1u);
+  EXPECT_EQ(rebalancer.inflight(), 1u);
+  rebalancer.Stop();
+}
+
+// With the fleet calm, the loop empties a below-threshold server so it
+// could be powered down (§1.3), and the directory keeps serving the
+// moved tenant.
+TEST(RebalancerTest, ConsolidatesIdleServerWhenCalm) {
+  FleetFixture fleet(3, {{0, 0.3}, {1, 0.3}, {2, 5.0}});
+  fleet.sim()->RunUntil(10.0);
+
+  Rebalancer rebalancer(fleet.cluster(), FleetFixture::FastOptions());
+  ASSERT_TRUE(rebalancer.Start().ok());
+
+  const SimTime emptied = fleet.RunUntilHolds(120.0, [&] {
+    return fleet.cluster()->server(2)->tenants()->TenantIds().empty() &&
+           rebalancer.inflight() == 0;
+  });
+  ASSERT_GT(emptied, 0.0) << "idle server was never consolidated away";
+  rebalancer.Stop();
+
+  const RebalancerStats& stats = rebalancer.stats();
+  EXPECT_GE(stats.migrations_ok, 1u);
+  EXPECT_EQ(stats.migrations_failed, 0u);
+  EXPECT_EQ(stats.last_overloaded, 0);
+  // The moved tenant still resolves and serves traffic elsewhere.
+  EXPECT_NE(fleet.cluster()->Resolve(3), nullptr);
+}
+
+}  // namespace
+}  // namespace slacker

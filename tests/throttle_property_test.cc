@@ -12,6 +12,7 @@
 #include "src/common/units.h"
 #include "src/resource/token_bucket.h"
 #include "src/sim/simulator.h"
+#include "src/slacker/throttle_policy.h"
 
 namespace slacker::resource {
 namespace {
@@ -120,6 +121,35 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<PropertyParams>& info) {
       return "seed" + std::to_string(info.param.seed);
     });
+
+// The throttle policies drive this bucket; their starting rate is part
+// of the same contract. Both PID variants must begin at the configured
+// clamp floor — a policy that starts at literal zero stalls the
+// migration until the first controller tick (and, with output_min > 0,
+// briefly violates the floor the operator asked for).
+TEST(ThrottlePolicyInitialRate, BothPidPoliciesStartAtOutputMin) {
+  control::LatencyMonitor source(3.0);
+  control::LatencyMonitor target(3.0);
+
+  control::PidConfig config;
+  config.setpoint = 1000.0;
+  config.output_min = 2.5;
+  config.output_max = 30.0;
+  slacker::PidThrottlePolicy pid(config, &source, &target);
+  EXPECT_DOUBLE_EQ(pid.InitialRateMbps(), config.output_min);
+
+  control::AdaptivePidOptions adaptive;
+  adaptive.base = config;
+  slacker::AdaptivePidThrottlePolicy adaptive_pid(adaptive, &source, &target);
+  EXPECT_DOUBLE_EQ(adaptive_pid.InitialRateMbps(), config.output_min);
+
+  // The floor default (0) keeps the historical start-from-zero shape.
+  control::PidConfig zero_floor;
+  zero_floor.setpoint = 1000.0;
+  zero_floor.output_max = 30.0;
+  slacker::PidThrottlePolicy legacy(zero_floor, &source, nullptr);
+  EXPECT_DOUBLE_EQ(legacy.InitialRateMbps(), 0.0);
+}
 
 }  // namespace
 }  // namespace slacker::resource
