@@ -53,6 +53,14 @@ void ApplyCommandLine(int argc, char** argv, ExperimentOptions* options) {
     } else if (std::strcmp(arg, "--sla-ms") == 0) {
       if ((v = value(&i)) != nullptr)
         options->sla_threshold_ms = std::strtod(v, nullptr);
+    } else if (std::strcmp(arg, "--codec") == 0) {
+      if ((v = value(&i)) != nullptr) {
+        const Status parsed = codec::ParseCodecMode(v, &options->codec_mode);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "bad --codec value %s (ignored): %s\n", v,
+                       parsed.ToString().c_str());
+        }
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s (ignored)\n", arg);
     }
@@ -207,6 +215,7 @@ MigrationOptions Testbed::BaseMigration() const {
   // Max throttle just above the fixed sweep's top: the controller's
   // output is a percentage of this (§4.2.3).
   options.pid.output_max = 30.0;
+  options.codec.mode = options_.codec_mode;
   return options;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/codec/codec.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/obs/trace.h"
@@ -55,11 +56,15 @@ struct ExperimentOptions {
   /// Latency above which completed transactions emit SlaViolation
   /// events (0 disables; only meaningful with a tracer installed).
   double sla_threshold_ms = 0.0;
+  /// Migration-stream codec (--codec=raw|lz|delta|adaptive). Defaults
+  /// to raw so the golden fig12 traces stay byte-identical.
+  codec::CodecMode codec_mode = codec::CodecMode::kRaw;
 };
 
 /// Parses the shared bench flags into `options`:
 ///   --trace <path>  --csv <path>  --seed <n>  --tenants <n>
 ///   --size-scale <x>  --arrival-scale <x>  --warmup <s>  --sla-ms <ms>
+///   --codec <raw|lz|delta|adaptive>
 /// Unknown flags warn and are ignored, so individual benches can keep
 /// their own defaults without argument-order coupling. The result is
 /// also remembered process-wide (see FlagOptions) for sweep benches

@@ -32,4 +32,31 @@ void DeltaShipper::MarkApplied(storage::Lsn to) {
   if (to > applied_lsn_) applied_lsn_ = to;
 }
 
+std::vector<storage::Record> RowImagesFromLog(
+    const std::vector<wal::LogRecord>& records) {
+  std::vector<storage::Record> rows;
+  rows.reserve(records.size());
+  for (const wal::LogRecord& r : records) {
+    storage::Record row;
+    row.key = r.key;
+    row.lsn = r.lsn;
+    row.digest = r.digest;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+codec::EncodedChunk EncodeRound(const DeltaRound& round,
+                                codec::Codec requested,
+                                const codec::CodecConfig& config) {
+  const std::vector<storage::Record> rows = RowImagesFromLog(round.records);
+  const uint64_t per_image =
+      rows.empty() ? 0 : round.bytes / static_cast<uint64_t>(rows.size());
+  // Delta rounds have no retransmission base; anything but LZ ships raw.
+  const codec::Codec effective =
+      requested == codec::Codec::kLz ? codec::Codec::kLz : codec::Codec::kRaw;
+  return codec::EncodeSnapshotChunk(rows, round.bytes, effective, config,
+                                    per_image, nullptr);
+}
+
 }  // namespace slacker::backup

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/codec/chunk_codec.h"
 #include "src/common/status.h"
 #include "src/engine/tenant_db.h"
 #include "src/obs/metric_registry.h"
@@ -61,6 +62,22 @@ class DeltaShipper {
   obs::Counter* rounds_counter_ = nullptr;
   obs::Counter* bytes_counter_ = nullptr;
 };
+
+/// Synthesized row images for a delta round, one per log record — the
+/// deterministic stand-in for the round's real byte payload that the
+/// codec materializes/compresses. Source and target derive identical
+/// images from identical log records, so payload CRCs verify end to
+/// end.
+std::vector<storage::Record> RowImagesFromLog(
+    const std::vector<wal::LogRecord>& records);
+
+/// Encodes one delta round as a codec frame (kLz or kRaw; log rounds
+/// never delta-encode — there is no base). Per-image payload size is
+/// the round's average record footprint, so the materialized payload
+/// tracks round.bytes.
+codec::EncodedChunk EncodeRound(const DeltaRound& round,
+                                codec::Codec requested,
+                                const codec::CodecConfig& config);
 
 }  // namespace slacker::backup
 

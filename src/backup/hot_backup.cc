@@ -1,9 +1,8 @@
 #include "src/backup/hot_backup.h"
 
 #include <algorithm>
-#include <cstring>
 
-#include "src/common/checksum.h"
+#include "src/codec/frame.h"
 
 namespace slacker::backup {
 
@@ -57,15 +56,19 @@ HotBackupStream::Chunk HotBackupStream::NextChunk() {
 }
 
 uint32_t ChunkCrc(const std::vector<storage::Record>& rows) {
-  uint32_t crc = 0;
-  uint8_t buf[24];
-  for (const storage::Record& r : rows) {
-    std::memcpy(buf, &r.key, 8);
-    std::memcpy(buf + 8, &r.lsn, 8);
-    std::memcpy(buf + 16, &r.digest, 8);
-    crc = Crc32c(buf, sizeof(buf), crc);
-  }
-  return crc;
+  // The canonical packing lives with the rest of the wire-byte logic
+  // in src/codec (explicit little-endian, byte-identical to the struct
+  // copy that used to live here).
+  return codec::ChunkCrc(rows);
+}
+
+codec::EncodedChunk EncodeChunk(const HotBackupStream::Chunk& chunk,
+                                codec::Codec requested,
+                                const codec::CodecConfig& config,
+                                uint64_t record_bytes,
+                                const std::vector<storage::Record>* base_rows) {
+  return codec::EncodeSnapshotChunk(chunk.rows, chunk.logical_bytes, requested,
+                                    config, record_bytes, base_rows);
 }
 
 SimTime PrepareCost(uint64_t redo_bytes, const PrepareOptions& options) {

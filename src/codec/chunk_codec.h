@@ -1,0 +1,55 @@
+#ifndef SLACKER_CODEC_CHUNK_CODEC_H_
+#define SLACKER_CODEC_CHUNK_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codec/codec.h"
+#include "src/codec/frame.h"
+#include "src/storage/record.h"
+
+namespace slacker::codec {
+
+/// One snapshot/delta chunk after encoding: the frame header that ships
+/// with it, the rows to put on the wire (for kDelta, only the changed
+/// rows), the removed keys (kDelta only), and the modeled source-side
+/// CPU cost of producing it.
+struct EncodedChunk {
+  FrameHeader frame;
+  std::vector<storage::Record> rows;
+  std::vector<uint64_t> removed_keys;
+  double cpu_seconds = 0.0;
+};
+
+/// Concatenated materialized payload of a chunk: `record_bytes` bytes
+/// per row via MaterializeCompressiblePayload. Source and target derive
+/// identical bytes from identical rows, which is what lets payload CRCs
+/// verify end to end without payload bytes crossing the link.
+std::vector<uint8_t> MaterializeChunkPayload(
+    const std::vector<storage::Record>& rows, uint64_t record_bytes,
+    double redundancy);
+
+/// Encodes one chunk with `requested` codec. Falls back to kRaw when
+/// the encoding does not pay (LZ output >= input; delta >= full chunk)
+/// or when kDelta was requested without a base. For kLz the real block
+/// compressor runs over the materialized payload to measure
+/// encoded_bytes and payload_crc; for kDelta the wire size is modeled
+/// as changed rows plus 8 bytes per removed key.
+EncodedChunk EncodeSnapshotChunk(const std::vector<storage::Record>& rows,
+                                 uint64_t logical_bytes, Codec requested,
+                                 const CodecConfig& config,
+                                 uint64_t record_bytes,
+                                 const std::vector<storage::Record>* base_rows);
+
+/// Target-side check that an LZ frame's payload CRC matches the payload
+/// re-materialized from the received rows. True for non-LZ frames.
+bool VerifyPayloadCrc(const FrameHeader& frame,
+                      const std::vector<storage::Record>& rows,
+                      uint64_t record_bytes);
+
+/// Modeled target-side CPU seconds to decode/verify a frame.
+double DecodeCpuSeconds(const FrameHeader& frame, const CodecConfig& config);
+
+}  // namespace slacker::codec
+
+#endif  // SLACKER_CODEC_CHUNK_CODEC_H_

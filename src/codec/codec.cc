@@ -1,0 +1,70 @@
+#include "src/codec/codec.h"
+
+namespace slacker::codec {
+
+const char* CodecName(Codec codec) {
+  switch (codec) {
+    case Codec::kRaw:
+      return "raw";
+    case Codec::kLz:
+      return "lz";
+    case Codec::kDelta:
+      return "delta";
+  }
+  return "unknown";
+}
+
+const char* CodecModeName(CodecMode mode) {
+  switch (mode) {
+    case CodecMode::kRaw:
+      return "raw";
+    case CodecMode::kLz:
+      return "lz";
+    case CodecMode::kDelta:
+      return "delta";
+    case CodecMode::kAdaptive:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+Status ParseCodecMode(const std::string& text, CodecMode* out) {
+  if (text == "raw") {
+    *out = CodecMode::kRaw;
+  } else if (text == "lz") {
+    *out = CodecMode::kLz;
+  } else if (text == "delta") {
+    *out = CodecMode::kDelta;
+  } else if (text == "adaptive") {
+    *out = CodecMode::kAdaptive;
+  } else {
+    return Status::InvalidArgument("unknown codec mode: " + text +
+                                   " (expected raw|lz|delta|adaptive)");
+  }
+  return Status::Ok();
+}
+
+Status CodecConfig::Validate() const {
+  if (payload_redundancy < 0.0 || payload_redundancy >= 1.0) {
+    return Status::InvalidArgument(
+        "codec.payload_redundancy must be in [0, 1)");
+  }
+  if (compress_bytes_per_sec <= 0.0 || decompress_bytes_per_sec <= 0.0 ||
+      delta_bytes_per_sec <= 0.0) {
+    return Status::InvalidArgument("codec throughput rates must be positive");
+  }
+  if (engage_headroom < 1.0) {
+    return Status::InvalidArgument(
+        "codec.engage_headroom must be >= 1 (compression may not be "
+        "allowed to become the bottleneck)");
+  }
+  if (ratio_ewma_alpha <= 0.0 || ratio_ewma_alpha > 1.0) {
+    return Status::InvalidArgument("codec.ratio_ewma_alpha must be in (0, 1]");
+  }
+  if (max_cached_chunks < 1) {
+    return Status::InvalidArgument("codec.max_cached_chunks must be >= 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace slacker::codec

@@ -1,0 +1,73 @@
+#ifndef SLACKER_CODEC_CODEC_H_
+#define SLACKER_CODEC_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace slacker::codec {
+
+/// Per-chunk encoding actually applied on the wire. The value is the
+/// byte stored in the frame header, so the order is ABI: append only.
+enum class Codec : uint8_t {
+  kRaw = 0,    // Rows ship verbatim.
+  kLz = 1,     // Deterministic LZ block compression of the payload.
+  kDelta = 2,  // XOR/delta against a base the target already staged.
+};
+
+/// Operator-facing codec policy for a migration (--codec=...). kRaw /
+/// kLz / kDelta force that encoding (kDelta still needs a base and
+/// falls back to raw); kAdaptive lets the selector pick per chunk from
+/// modeled CPU cost versus the current throttle rate.
+enum class CodecMode {
+  kRaw = 0,
+  kLz,
+  kDelta,
+  kAdaptive,
+};
+
+const char* CodecName(Codec codec);
+const char* CodecModeName(CodecMode mode);
+
+/// Parses "raw" | "lz" | "delta" | "adaptive" (the --codec flag values).
+Status ParseCodecMode(const std::string& text, CodecMode* out);
+
+/// Codec policy + cost model for one migration. The rates are *modeled*
+/// sim-time costs (bytes of input processed per core-second), not host
+/// wall-clock — everything stays deterministic.
+struct CodecConfig {
+  CodecMode mode = CodecMode::kRaw;
+
+  /// Fraction of each record payload that is redundant (constant
+  /// filler) in the compressible workload model; the rest is
+  /// incompressible seeded noise. Achievable LZ ratio ~= 1/(1 - r).
+  double payload_redundancy = 0.5;
+
+  /// Modeled single-core LZ compression throughput (source side).
+  double compress_bytes_per_sec = 150.0 * static_cast<double>(kMiB);
+  /// Modeled single-core decompression/verify throughput (target side).
+  double decompress_bytes_per_sec = 600.0 * static_cast<double>(kMiB);
+  /// Modeled single-core delta encode/apply throughput (both sides).
+  double delta_bytes_per_sec = 400.0 * static_cast<double>(kMiB);
+
+  /// Adaptive selector engages LZ only when spare CPU can compress at
+  /// least `engage_headroom` times faster than the throttle drains wire
+  /// bytes — compression must never become the new bottleneck.
+  double engage_headroom = 1.25;
+
+  /// EWMA smoothing for the observed compression ratio fed back into
+  /// the selector.
+  double ratio_ewma_alpha = 0.2;
+
+  /// Source-side cache of transmitted chunks (delta bases); bounded so
+  /// a huge snapshot cannot hold every chunk in memory.
+  int max_cached_chunks = 256;
+
+  Status Validate() const;
+};
+
+}  // namespace slacker::codec
+
+#endif  // SLACKER_CODEC_CODEC_H_

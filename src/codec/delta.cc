@@ -1,0 +1,58 @@
+#include "src/codec/delta.h"
+
+#include <cstddef>
+
+namespace slacker::codec {
+
+RowDelta ComputeRowDelta(const std::vector<storage::Record>& base,
+                         const std::vector<storage::Record>& current) {
+  RowDelta delta;
+  size_t b = 0;
+  size_t c = 0;
+  while (b < base.size() && c < current.size()) {
+    if (base[b].key < current[c].key) {
+      delta.removed_keys.push_back(base[b].key);
+      ++b;
+    } else if (current[c].key < base[b].key) {
+      delta.changed.push_back(current[c]);
+      ++c;
+    } else {
+      if (!(base[b] == current[c])) delta.changed.push_back(current[c]);
+      ++b;
+      ++c;
+    }
+  }
+  for (; b < base.size(); ++b) delta.removed_keys.push_back(base[b].key);
+  for (; c < current.size(); ++c) delta.changed.push_back(current[c]);
+  return delta;
+}
+
+std::vector<storage::Record> ApplyRowDelta(
+    const std::vector<storage::Record>& base,
+    const std::vector<storage::Record>& changed,
+    const std::vector<uint64_t>& removed_keys) {
+  std::vector<storage::Record> out;
+  out.reserve(base.size() + changed.size());
+  size_t b = 0;
+  size_t c = 0;
+  size_t r = 0;
+  auto removed = [&](uint64_t key) {
+    while (r < removed_keys.size() && removed_keys[r] < key) ++r;
+    return r < removed_keys.size() && removed_keys[r] == key;
+  };
+  while (b < base.size() || c < changed.size()) {
+    if (c >= changed.size() ||
+        (b < base.size() && base[b].key < changed[c].key)) {
+      if (!removed(base[b].key)) out.push_back(base[b]);
+      ++b;
+    } else {
+      // A changed row replaces the base version of the same key.
+      if (b < base.size() && base[b].key == changed[c].key) ++b;
+      out.push_back(changed[c]);
+      ++c;
+    }
+  }
+  return out;
+}
+
+}  // namespace slacker::codec

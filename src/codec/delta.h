@@ -1,0 +1,41 @@
+#ifndef SLACKER_CODEC_DELTA_H_
+#define SLACKER_CODEC_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/storage/record.h"
+
+namespace slacker::codec {
+
+/// Row-level delta between two versions of the same key range: the
+/// rows that changed (or appeared) plus the keys that vanished. Used
+/// for go-back-N retransmission — a NACK-free re-send of a chunk the
+/// target already durably staged only needs to carry what mutated
+/// between the two reads.
+struct RowDelta {
+  /// Rows present in `current` that are absent from or differ in
+  /// `base`, in key order.
+  std::vector<storage::Record> changed;
+  /// Keys present in `base` but absent from `current`, in key order.
+  std::vector<uint64_t> removed_keys;
+
+  bool empty() const { return changed.empty() && removed_keys.empty(); }
+};
+
+/// Computes the delta that transforms `base` into `current`. Both
+/// inputs must be sorted by key (HotBackupStream chunks always are).
+RowDelta ComputeRowDelta(const std::vector<storage::Record>& base,
+                         const std::vector<storage::Record>& current);
+
+/// Applies a delta to `base`, returning the reconstructed rows in key
+/// order. ApplyRowDelta(base, ComputeRowDelta(base, current)) ==
+/// current for any sorted inputs.
+std::vector<storage::Record> ApplyRowDelta(
+    const std::vector<storage::Record>& base,
+    const std::vector<storage::Record>& changed,
+    const std::vector<uint64_t>& removed_keys);
+
+}  // namespace slacker::codec
+
+#endif  // SLACKER_CODEC_DELTA_H_

@@ -1,0 +1,84 @@
+#include "src/codec/frame.h"
+
+#include "src/common/checksum.h"
+
+namespace slacker::codec {
+namespace {
+
+constexpr uint8_t kFrameMagic = 0xC5;
+constexpr uint8_t kFrameVersion = 1;
+
+void EncodeBody(const FrameHeader& frame, ByteWriter* writer) {
+  writer->PutU8(kFrameMagic);
+  writer->PutU8(kFrameVersion);
+  writer->PutU8(static_cast<uint8_t>(frame.codec));
+  writer->PutVarint64(frame.logical_bytes);
+  writer->PutVarint64(frame.encoded_bytes);
+  writer->PutFixed32(frame.payload_crc);
+  writer->PutFixed32(frame.base_crc);
+  writer->PutDouble(frame.payload_redundancy);
+}
+
+}  // namespace
+
+void FrameHeader::EncodeTo(ByteWriter* writer) const {
+  ByteWriter body;
+  EncodeBody(*this, &body);
+  const uint32_t header_crc = Crc32c(body.data());
+  writer->PutBytes(body.data().data(), body.size());
+  writer->PutFixed32(header_crc);
+}
+
+Status FrameHeader::DecodeFrom(ByteReader* reader) {
+  uint8_t magic = 0;
+  uint8_t version = 0;
+  uint8_t codec_byte = 0;
+  FrameHeader decoded;
+  SLACKER_RETURN_IF_ERROR(reader->GetU8(&magic));
+  if (magic != kFrameMagic) {
+    return Status::Corruption("codec frame: bad magic");
+  }
+  SLACKER_RETURN_IF_ERROR(reader->GetU8(&version));
+  if (version != kFrameVersion) {
+    return Status::Corruption("codec frame: unsupported version");
+  }
+  SLACKER_RETURN_IF_ERROR(reader->GetU8(&codec_byte));
+  if (codec_byte > static_cast<uint8_t>(Codec::kDelta)) {
+    return Status::Corruption("codec frame: unknown codec id");
+  }
+  decoded.codec = static_cast<Codec>(codec_byte);
+  SLACKER_RETURN_IF_ERROR(reader->GetVarint64(&decoded.logical_bytes));
+  SLACKER_RETURN_IF_ERROR(reader->GetVarint64(&decoded.encoded_bytes));
+  SLACKER_RETURN_IF_ERROR(reader->GetFixed32(&decoded.payload_crc));
+  SLACKER_RETURN_IF_ERROR(reader->GetFixed32(&decoded.base_crc));
+  SLACKER_RETURN_IF_ERROR(reader->GetDouble(&decoded.payload_redundancy));
+  uint32_t header_crc = 0;
+  SLACKER_RETURN_IF_ERROR(reader->GetFixed32(&header_crc));
+  // The encoding is canonical (LEB128 varints, fixed-width ints), so
+  // re-encoding the decoded fields reproduces the checksummed bytes.
+  ByteWriter body;
+  EncodeBody(decoded, &body);
+  if (Crc32c(body.data()) != header_crc) {
+    return Status::Corruption("codec frame: header crc mismatch");
+  }
+  *this = decoded;
+  return Status::Ok();
+}
+
+uint32_t ChunkCrc(const std::vector<storage::Record>& rows) {
+  uint32_t crc = 0;
+  uint8_t buf[24];
+  for (const storage::Record& row : rows) {
+    // Explicit little-endian packing: byte-identical to the x86 struct
+    // copy this replaced, and stable on any host.
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<uint8_t>(row.key >> (8 * i));
+      buf[8 + i] = static_cast<uint8_t>(row.lsn >> (8 * i));
+      buf[16 + i] = static_cast<uint8_t>(row.digest >> (8 * i));
+    }
+    crc = Crc32c(buf, sizeof(buf), crc);
+  }
+  return crc;
+}
+
+}  // namespace slacker::codec

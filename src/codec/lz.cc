@@ -1,0 +1,140 @@
+#include "src/codec/lz.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace slacker::codec {
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 131;  // kMinMatch + 127.
+constexpr size_t kMaxLiteralRun = 128;
+
+/// Fibonacci hash of a 4-byte little-endian prefix; determinism needs
+/// only that this is a pure function of the bytes.
+uint32_t HashPrefix(const uint8_t* p) {
+  const uint32_t word = static_cast<uint32_t>(p[0]) |
+                        (static_cast<uint32_t>(p[1]) << 8) |
+                        (static_cast<uint32_t>(p[2]) << 16) |
+                        (static_cast<uint32_t>(p[3]) << 24);
+  return (word * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint(const std::vector<uint8_t>& in, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift < 64) {
+    const uint8_t byte = in[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void FlushLiterals(const std::vector<uint8_t>& input, size_t from, size_t to,
+                   std::vector<uint8_t>* out) {
+  while (from < to) {
+    const size_t run = std::min(kMaxLiteralRun, to - from);
+    out->push_back(static_cast<uint8_t>(run - 1));
+    out->insert(out->end(), input.begin() + static_cast<ptrdiff_t>(from),
+                input.begin() + static_cast<ptrdiff_t>(from + run));
+    from += run;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  const size_t n = input.size();
+  if (n == 0) return out;
+  out.reserve(n / 2 + 16);
+
+  std::vector<size_t> table(kHashSize, SIZE_MAX);
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const uint32_t h = HashPrefix(&input[i]);
+    const size_t candidate = table[h];
+    table[h] = i;
+    if (candidate != SIZE_MAX && candidate < i &&
+        input[candidate] == input[i] && input[candidate + 1] == input[i + 1] &&
+        input[candidate + 2] == input[i + 2] &&
+        input[candidate + 3] == input[i + 3]) {
+      size_t length = kMinMatch;
+      const size_t limit = std::min(kMaxMatch, n - i);
+      while (length < limit && input[candidate + length] == input[i + length]) {
+        ++length;
+      }
+      FlushLiterals(input, literal_start, i, &out);
+      out.push_back(static_cast<uint8_t>(0x80 | (length - kMinMatch)));
+      PutVarint(&out, i - candidate);
+      i += length;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  FlushLiterals(input, literal_start, n, &out);
+  return out;
+}
+
+Status LzDecompress(const std::vector<uint8_t>& compressed,
+                    size_t expected_size, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(expected_size);
+  size_t pos = 0;
+  while (pos < compressed.size()) {
+    const uint8_t op = compressed[pos++];
+    if (op < 0x80) {
+      const size_t run = static_cast<size_t>(op) + 1;
+      if (pos + run > compressed.size()) {
+        return Status::Corruption("lz literal run overruns input");
+      }
+      if (out->size() + run > expected_size) {
+        return Status::Corruption("lz output exceeds expected size");
+      }
+      out->insert(out->end(), compressed.begin() + static_cast<ptrdiff_t>(pos),
+                  compressed.begin() + static_cast<ptrdiff_t>(pos + run));
+      pos += run;
+    } else {
+      uint64_t distance = 0;
+      if (!GetVarint(compressed, &pos, &distance)) {
+        return Status::Corruption("lz match distance truncated");
+      }
+      const size_t length = static_cast<size_t>(op & 0x7F) + kMinMatch;
+      if (distance == 0 || distance > out->size()) {
+        return Status::Corruption("lz match distance out of range");
+      }
+      if (out->size() + length > expected_size) {
+        return Status::Corruption("lz output exceeds expected size");
+      }
+      // Byte-at-a-time: matches may overlap their own output (RLE).
+      size_t src = out->size() - static_cast<size_t>(distance);
+      for (size_t k = 0; k < length; ++k) {
+        out->push_back((*out)[src + k]);
+      }
+    }
+  }
+  if (out->size() != expected_size) {
+    return Status::Corruption("lz output shorter than expected size");
+  }
+  return Status::Ok();
+}
+
+}  // namespace slacker::codec

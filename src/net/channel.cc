@@ -26,10 +26,11 @@ void Channel::OnDrop(DropHandler handler) {
 void Channel::Send(const Message& message, uint64_t* sent_bytes) {
   std::vector<uint8_t> frame = EncodeMessage(message);
   // Snapshot chunks represent far more logical bytes than their compact
-  // digest encoding; charge the wire for the logical payload so the
-  // link model sees the true migration volume.
+  // digest encoding; charge the wire for the *encoded* payload (equal
+  // to the logical payload for raw frames) so the link model sees the
+  // true post-codec migration volume.
   const uint64_t wire_bytes =
-      frame.size() + message.payload_bytes;
+      frame.size() + message.wire_payload_bytes();
   ++messages_sent_;
   bytes_sent_ += wire_bytes;
   if (sent_bytes != nullptr) *sent_bytes = wire_bytes;
@@ -39,6 +40,7 @@ void Channel::Send(const Message& message, uint64_t* sent_bytes) {
   info.type = message.type;
   info.tenant_id = message.tenant_id;
   info.payload_bytes = message.payload_bytes;
+  info.wire_payload_bytes = message.wire_payload_bytes();
   link_->Send(wire_bytes, [this, info, frame = std::move(frame)]() mutable {
     if (frame_corrupter_) frame_corrupter_(&frame);
     Message received;

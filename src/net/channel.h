@@ -47,6 +47,9 @@ class Channel {
     MessageType type = MessageType::kMigrateRequest;
     uint64_t tenant_id = 0;
     uint64_t payload_bytes = 0;
+    /// Encoded (post-codec) payload bytes; equals payload_bytes for
+    /// raw frames. The wire-byte leg of the conservation ledger.
+    uint64_t wire_payload_bytes = 0;
   };
   using DropHandler = std::function<void(const DropInfo&)>;
   void OnDrop(DropHandler handler);

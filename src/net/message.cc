@@ -35,6 +35,16 @@ std::vector<uint8_t> EncodeMessage(const Message& message) {
   for (const wal::LogRecord& r : message.log_records) {
     r.EncodeTo(&writer);
   }
+  // Codec extension: only non-raw frames append it, so every message
+  // the raw pipeline produces is byte-identical to the pre-codec
+  // format (golden trace digests depend on wire sizes).
+  if (message.frame.codec != codec::Codec::kRaw) {
+    message.frame.EncodeTo(&writer);
+    writer.PutVarint64(message.removed_keys.size());
+    for (uint64_t key : message.removed_keys) {
+      writer.PutVarint64(key);
+    }
+  }
   return EncodeFrame(writer.Release());
 }
 
@@ -84,6 +94,23 @@ Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out) {
     wal::LogRecord r;
     SLACKER_RETURN_IF_ERROR(wal::LogRecord::DecodeFrom(&reader, &r));
     out->log_records.push_back(r);
+  }
+  out->frame = codec::FrameHeader();
+  out->removed_keys.clear();
+  if (!reader.exhausted()) {
+    SLACKER_RETURN_IF_ERROR(out->frame.DecodeFrom(&reader));
+    if (out->frame.codec == codec::Codec::kRaw) {
+      // A raw frame is never encoded; its presence means corruption.
+      return Status::Corruption("unexpected raw codec extension");
+    }
+    uint64_t removed_count;
+    SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&removed_count));
+    out->removed_keys.reserve(removed_count);
+    for (uint64_t i = 0; i < removed_count; ++i) {
+      uint64_t key;
+      SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&key));
+      out->removed_keys.push_back(key);
+    }
   }
   if (!reader.exhausted()) {
     return Status::Corruption("trailing bytes in message");

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/codec/frame.h"
 #include "src/common/status.h"
 #include "src/wal/log_record.h"
 
@@ -79,8 +80,24 @@ struct Message {
   std::vector<storage::Record> rows;
   /// kDeltaBatch / kHandoverRequest: log records.
   std::vector<wal::LogRecord> log_records;
+  /// kSnapshotChunk / kDeltaBatch: codec frame header. A default
+  /// (kRaw) frame encodes to nothing, keeping the raw-path wire bytes
+  /// identical to the pre-codec format.
+  codec::FrameHeader frame;
+  /// kSnapshotChunk with frame.codec == kDelta only: keys present in
+  /// the delta base but absent from the re-read chunk.
+  std::vector<uint64_t> removed_keys;
 
   bool operator==(const Message& other) const = default;
+
+  /// Bytes this message occupies on the wire at the payload level: the
+  /// encoded size for compressed/delta frames, the logical size
+  /// otherwise. Throttles and drop ledgers meter this; progress
+  /// tracking stays on payload_bytes (logical).
+  uint64_t wire_payload_bytes() const {
+    return frame.codec == codec::Codec::kRaw ? payload_bytes
+                                             : frame.encoded_bytes;
+  }
 };
 
 /// Serializes a message into a checksummed frame.

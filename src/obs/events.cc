@@ -90,6 +90,19 @@ void EmitSnapshotChunkSent(Tracer* tracer, const SnapshotChunkSent& e) {
   tracer->RecordEvent(std::move(event));
 }
 
+void EmitCodecChunkEncoded(Tracer* tracer, const CodecChunkEncoded& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id),
+                            "codec_chunk", "codec");
+  event.args.emplace_back("seq", static_cast<double>(e.seq));
+  event.args.emplace_back("logical_bytes",
+                          static_cast<double>(e.logical_bytes));
+  event.args.emplace_back("wire_bytes", static_cast<double>(e.wire_bytes));
+  event.args.emplace_back("cpu_ms", e.cpu_ms);
+  event.notes.emplace_back("codec", e.codec);
+  tracer->RecordEvent(std::move(event));
+}
+
 void EmitSnapshotNack(Tracer* tracer, const SnapshotNack& e) {
   if (Off(tracer)) return;
   Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id),

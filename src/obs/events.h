@@ -67,6 +67,18 @@ struct SnapshotChunkSent {
 };
 void EmitSnapshotChunkSent(Tracer* tracer, const SnapshotChunkSent& e);
 
+/// One chunk (snapshot or delta round) left the source through the
+/// codec pipeline: which codec the selector picked and what it cost.
+struct CodecChunkEncoded {
+  uint64_t tenant_id = 0;
+  uint64_t seq = 0;
+  std::string codec;
+  uint64_t logical_bytes = 0;
+  uint64_t wire_bytes = 0;
+  double cpu_ms = 0.0;
+};
+void EmitCodecChunkEncoded(Tracer* tracer, const CodecChunkEncoded& e);
+
 /// The target NACKed the stream; the source rewinds (go-back-N).
 struct SnapshotNack {
   uint64_t tenant_id = 0;

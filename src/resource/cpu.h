@@ -31,6 +31,7 @@ class CpuModel {
   void Submit(SimTime service, std::function<void()> done);
 
   int busy_cores() const { return busy_cores_; }
+  int cores() const { return options_.cores; }
   size_t queued() const { return queue_.size(); }
   double Utilization() const;
   void ResetStats();

@@ -411,7 +411,8 @@ net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
     if (receiver == nullptr || !receiver->up() ||
         receiver->controller() == nullptr || IsPartitioned(from, to)) {
       if (message.type == net::MessageType::kSnapshotChunk) {
-        auditor_.OnChunkDropped(message.tenant_id, message.payload_bytes);
+        auditor_.OnChunkDropped(message.tenant_id, message.payload_bytes,
+                                message.wire_payload_bytes());
       }
       return;
     }
@@ -424,7 +425,8 @@ net::Channel* Cluster::ChannelBetween(uint64_t from, uint64_t to) {
     // Chunks lost to injected faults (filtered datagrams, bit rot that
     // fails the frame decode) count against the conservation ledger.
     if (info.type == net::MessageType::kSnapshotChunk) {
-      auditor_.OnChunkDropped(info.tenant_id, info.payload_bytes);
+      auditor_.OnChunkDropped(info.tenant_id, info.payload_bytes,
+                              info.wire_payload_bytes);
     }
   });
   net::Channel* raw = channel.get();
@@ -439,7 +441,8 @@ void Cluster::SendMessage(uint64_t from_server, uint64_t to_server,
   Server* sender = server(from_server);
   if (sender == nullptr || !sender->up()) {
     if (message.type == net::MessageType::kSnapshotChunk) {
-      auditor_.OnChunkDropped(message.tenant_id, message.payload_bytes);
+      auditor_.OnChunkDropped(message.tenant_id, message.payload_bytes,
+                              message.wire_payload_bytes());
     }
     return;
   }
@@ -454,6 +457,11 @@ control::LatencyMonitor* Cluster::MonitorOn(uint64_t server_id) {
 DurableStore* Cluster::DurableStoreOn(uint64_t server_id) {
   Server* host = server(server_id);
   return host == nullptr ? nullptr : host->durable();
+}
+
+resource::CpuModel* Cluster::CpuOn(uint64_t server_id) {
+  Server* host = server(server_id);
+  return host == nullptr ? nullptr : host->cpu();
 }
 
 }  // namespace slacker

@@ -188,6 +188,7 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
                    const net::Message& message) override;
   control::LatencyMonitor* MonitorOn(uint64_t server_id) override;
   DurableStore* DurableStoreOn(uint64_t server_id) override;
+  resource::CpuModel* CpuOn(uint64_t server_id) override;
   obs::Tracer* tracer() override { return tracer_; }
   /// Always on: every Cluster audits its migrations (DESIGN.md §9).
   InvariantAuditor* auditor() override { return &auditor_; }

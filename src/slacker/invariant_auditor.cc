@@ -92,18 +92,22 @@ InvariantAuditor::ChunkLedger* InvariantAuditor::ActiveLedger(
   return &it->second;
 }
 
-void InvariantAuditor::OnChunkSent(uint64_t tenant_id, uint64_t bytes) {
+void InvariantAuditor::OnChunkSent(uint64_t tenant_id, uint64_t bytes,
+                                   uint64_t wire_bytes) {
   ChunkLedger* ledger = ActiveLedger(tenant_id);
   if (ledger == nullptr) return;
   ++ledger->sent_chunks;
   ledger->sent_bytes += bytes;
+  ledger->sent_wire_bytes += wire_bytes;
 }
 
-void InvariantAuditor::OnChunkApplied(uint64_t tenant_id, uint64_t bytes) {
+void InvariantAuditor::OnChunkApplied(uint64_t tenant_id, uint64_t bytes,
+                                      uint64_t wire_bytes) {
   ChunkLedger* ledger = ActiveLedger(tenant_id);
   if (ledger == nullptr) return;
   ++ledger->applied_chunks;
   ledger->applied_bytes += bytes;
+  ledger->applied_wire_bytes += wire_bytes;
   // A chunk can only be applied after it was sent; more applied than
   // sent means two streams are crossed or the ledger epoch is torn.
   SLACKER_CHECK(ledger->applied_chunks + ledger->discarded_chunks +
@@ -114,18 +118,22 @@ void InvariantAuditor::OnChunkApplied(uint64_t tenant_id, uint64_t bytes) {
   ++checks_passed_;
 }
 
-void InvariantAuditor::OnChunkDiscarded(uint64_t tenant_id, uint64_t bytes) {
+void InvariantAuditor::OnChunkDiscarded(uint64_t tenant_id, uint64_t bytes,
+                                        uint64_t wire_bytes) {
   ChunkLedger* ledger = ActiveLedger(tenant_id);
   if (ledger == nullptr) return;
   ++ledger->discarded_chunks;
   ledger->discarded_bytes += bytes;
+  ledger->discarded_wire_bytes += wire_bytes;
 }
 
-void InvariantAuditor::OnChunkDropped(uint64_t tenant_id, uint64_t bytes) {
+void InvariantAuditor::OnChunkDropped(uint64_t tenant_id, uint64_t bytes,
+                                      uint64_t wire_bytes) {
   ChunkLedger* ledger = ActiveLedger(tenant_id);
   if (ledger == nullptr) return;
   ++ledger->dropped_chunks;
   ledger->dropped_bytes += bytes;
+  ledger->dropped_wire_bytes += wire_bytes;
 }
 
 void InvariantAuditor::CheckChunkConservation(uint64_t tenant_id) {
@@ -137,16 +145,22 @@ void InvariantAuditor::CheckChunkConservation(uint64_t tenant_id) {
   const uint64_t accounted_bytes = ledger->applied_bytes +
                                    ledger->discarded_bytes +
                                    ledger->dropped_bytes;
+  const uint64_t accounted_wire_bytes = ledger->applied_wire_bytes +
+                                        ledger->discarded_wire_bytes +
+                                        ledger->dropped_wire_bytes;
   SLACKER_CHECK(
       ledger->sent_chunks == accounted_chunks &&
-          ledger->sent_bytes == accounted_bytes,
+          ledger->sent_bytes == accounted_bytes &&
+          ledger->sent_wire_bytes == accounted_wire_bytes,
       "tenant " + std::to_string(tenant_id) +
           ": snapshot byte conservation violated — sent " +
           std::to_string(ledger->sent_chunks) + " chunks/" +
-          std::to_string(ledger->sent_bytes) + " B, accounted " +
+          std::to_string(ledger->sent_bytes) + " B logical/" +
+          std::to_string(ledger->sent_wire_bytes) + " B wire, accounted " +
           std::to_string(accounted_chunks) + " chunks/" +
-          std::to_string(accounted_bytes) +
-          " B (applied + discarded + dropped)");
+          std::to_string(accounted_bytes) + " B logical/" +
+          std::to_string(accounted_wire_bytes) +
+          " B wire (applied + discarded + dropped)");
   ++checks_passed_;
 }
 

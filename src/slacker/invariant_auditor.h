@@ -25,16 +25,24 @@ class InvariantAuditor {
   /// applied in order at the target, discarded by the target
   /// (duplicate, gap behind a NACK, or CRC failure), or eaten by the
   /// network (partition, crashed receiver) — sent = applied +
-  /// discarded + dropped, in both chunk and byte units.
+  /// discarded + dropped, in chunk, logical-byte, and wire-byte units.
+  /// Wire bytes are the post-codec encoded payload sizes (equal to
+  /// logical for raw frames); tracking both legs catches a codec that
+  /// loses or double-counts compressed bytes even when the logical
+  /// ledger still balances.
   struct ChunkLedger {
     uint64_t sent_chunks = 0;
     uint64_t sent_bytes = 0;
+    uint64_t sent_wire_bytes = 0;
     uint64_t applied_chunks = 0;
     uint64_t applied_bytes = 0;
+    uint64_t applied_wire_bytes = 0;
     uint64_t discarded_chunks = 0;
     uint64_t discarded_bytes = 0;
+    uint64_t discarded_wire_bytes = 0;
     uint64_t dropped_chunks = 0;
     uint64_t dropped_bytes = 0;
+    uint64_t dropped_wire_bytes = 0;
     bool active = false;
   };
 
@@ -63,12 +71,16 @@ class InvariantAuditor {
   /// open ledger are ignored — they are stragglers from a previous
   /// attempt still draining out of the network.
   void BeginMigration(uint64_t tenant_id);
-  void OnChunkSent(uint64_t tenant_id, uint64_t bytes);
-  void OnChunkApplied(uint64_t tenant_id, uint64_t bytes);
-  void OnChunkDiscarded(uint64_t tenant_id, uint64_t bytes);
-  void OnChunkDropped(uint64_t tenant_id, uint64_t bytes);
-  /// Fatal unless sent = applied + discarded + dropped (chunks and
-  /// bytes). Call only once the pipe is drained — in practice when the
+  /// `bytes` is the logical payload size, `wire_bytes` the encoded
+  /// (post-codec) size actually metered through throttle and link.
+  void OnChunkSent(uint64_t tenant_id, uint64_t bytes, uint64_t wire_bytes);
+  void OnChunkApplied(uint64_t tenant_id, uint64_t bytes, uint64_t wire_bytes);
+  void OnChunkDiscarded(uint64_t tenant_id, uint64_t bytes,
+                        uint64_t wire_bytes);
+  void OnChunkDropped(uint64_t tenant_id, uint64_t bytes, uint64_t wire_bytes);
+  /// Fatal unless sent = applied + discarded + dropped (chunks,
+  /// logical bytes, and wire bytes). Call only once the pipe is
+  /// drained — in practice when the
   /// migration finishes successfully, since the snapshot ack orders
   /// after every chunk on the FIFO channel.
   void CheckChunkConservation(uint64_t tenant_id);

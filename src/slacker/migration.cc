@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/codec/delta.h"
 #include "src/common/invariant.h"
 #include "src/common/logging.h"
 #include "src/engine/checkpoint.h"
@@ -66,6 +67,13 @@ double MigrationReport::AverageRateMbps() const {
       static_cast<double>(snapshot_bytes + delta_bytes) / duration);
 }
 
+double MigrationReport::CompressionRatio() const {
+  const uint64_t wire = snapshot_wire_bytes + delta_wire_bytes;
+  if (wire == 0) return 1.0;
+  return static_cast<double>(snapshot_bytes + delta_bytes) /
+         static_cast<double>(wire);
+}
+
 MigrationJob::MigrationJob(MigrationContext* ctx, uint64_t tenant_id,
                            uint64_t source_server, uint64_t target_server,
                            const MigrationOptions& options, DoneCallback done)
@@ -117,6 +125,9 @@ Status MigrationJob::Start() {
   // monopolize the spindle for ~100 ms and spike query latency).
   bucket_options.burst_bytes = options_.backup.chunk_bytes;
   throttle_ = std::make_unique<resource::TokenBucket>(sim_, bucket_options);
+  if (options_.codec.mode != codec::CodecMode::kRaw) {
+    selector_ = std::make_unique<codec::CodecSelector>(options_.codec);
+  }
 
   report_.start_time = sim_->Now();
   phase_start_ = sim_->Now();
@@ -131,6 +142,18 @@ Status MigrationJob::Start() {
         registry->FindOrCreateCounter("migration_delta_bytes", labels);
     chunks_sent_counter_ =
         registry->FindOrCreateCounter("migration_chunks_sent", labels);
+    if (options_.codec.mode != codec::CodecMode::kRaw) {
+      // Registered only when a codec is active so default (raw) runs
+      // add no metric rows and the golden CSV exports stay byte-stable.
+      codec_logical_bytes_counter_ =
+          registry->FindOrCreateCounter("codec_logical_bytes", labels);
+      codec_wire_bytes_counter_ =
+          registry->FindOrCreateCounter("codec_wire_bytes", labels);
+      codec_cpu_ms_counter_ =
+          registry->FindOrCreateCounter("codec_cpu_ms", labels);
+      codec_ratio_gauge_ =
+          registry->FindOrCreateGauge("codec_compression_ratio", labels);
+    }
     phase_span_ = obs::TraceSpan(tracer_, track_,
                                  MigrationPhaseName(MigrationPhase::kNegotiate),
                                  "phase");
@@ -458,6 +481,10 @@ void MigrationJob::BeginSnapshot() {
 
 void MigrationJob::PumpSnapshot() {
   if (finished_ || phase_ != MigrationPhase::kSnapshot) return;
+  if (options_.codec.mode != codec::CodecMode::kRaw) {
+    PumpSnapshotEncoded();
+    return;
+  }
   if (snapshot_->Done()) {
     OnSnapshotDrained();
     return;
@@ -476,6 +503,8 @@ void MigrationJob::PumpSnapshot() {
     backup::HotBackupStream::Chunk chunk = snapshot_->NextChunk();
     ++inflight_chunks_;
     report_.snapshot_bytes += chunk.logical_bytes;
+    report_.snapshot_wire_bytes += chunk.logical_bytes;
+    ++report_.chunks_raw;
     const uint64_t read_bytes = std::max<uint64_t>(chunk.logical_bytes, 1);
     source_db_->ChargeSequentialRead(
         read_bytes, kMigrationStreamId,
@@ -491,7 +520,8 @@ void MigrationJob::PumpSnapshot() {
           msg.rows = std::move(chunk.rows);
           ctx_->SendMessage(source_server_, target_server_, msg);
           if (auditor_ != nullptr) {
-            auditor_->OnChunkSent(tenant_id_, msg.payload_bytes);
+            auditor_->OnChunkSent(tenant_id_, msg.payload_bytes,
+                                  msg.payload_bytes);
           }
           if (tracer_ != nullptr) {
             if (snapshot_bytes_counter_ != nullptr) {
@@ -509,6 +539,155 @@ void MigrationJob::PumpSnapshot() {
         });
     // Keep acquiring tokens for the next chunk while this one is being
     // read — the throttle, not the read completion, paces the stream.
+    PumpSnapshot();
+  });
+}
+
+void MigrationJob::ProducePendingChunk() {
+  backup::HotBackupStream::Chunk chunk = snapshot_->NextChunk();
+  codec::SelectorInputs inputs;
+  inputs.throttle_bytes_per_sec = throttle_->rate();
+  if (resource::CpuModel* cpu = ctx_->CpuOn(source_server_)) {
+    inputs.total_cores = cpu->cores();
+    inputs.busy_cores = cpu->busy_cores();
+  }
+  const auto base_it = chunk_cache_.find(chunk.seq);
+  inputs.has_delta_base = base_it != chunk_cache_.end() &&
+                          delta_blocked_.count(chunk.seq) == 0;
+  inputs.logical_bytes = chunk.logical_bytes;
+  const codec::Codec choice = selector_->Choose(inputs);
+  const std::vector<storage::Record>* base_rows =
+      inputs.has_delta_base ? &base_it->second.rows : nullptr;
+  PendingChunk pending;
+  pending.seq = chunk.seq;
+  pending.chunk_crc = backup::ChunkCrc(chunk.rows);
+  pending.enc =
+      backup::EncodeChunk(chunk, choice, options_.codec,
+                          source_db_->config().layout.record_bytes, base_rows);
+  // Remember this transmission as the delta base for a go-back-N
+  // resend: the target stages the same rows when the chunk arrives
+  // intact but out of order.
+  CachedChunk cached;
+  cached.crc = pending.chunk_crc;
+  cached.rows = std::move(chunk.rows);
+  chunk_cache_[chunk.seq] = std::move(cached);
+  while (chunk_cache_.size() >
+         static_cast<size_t>(options_.codec.max_cached_chunks)) {
+    chunk_cache_.erase(chunk_cache_.begin());
+  }
+  pending_chunk_ = std::move(pending);
+}
+
+void MigrationJob::PumpSnapshotEncoded() {
+  if (finished_ || phase_ != MigrationPhase::kSnapshot) return;
+  if (snapshot_->Done() && !pending_chunk_.has_value()) {
+    OnSnapshotDrained();
+    return;
+  }
+  if (acquiring_ || inflight_chunks_ >= options_.max_inflight_chunks) return;
+  // Encode before acquiring tokens: the throttle meters *wire* bytes,
+  // and the wire size is only known after the codec has run.
+  if (!pending_chunk_.has_value()) ProducePendingChunk();
+  const uint64_t wire_bytes =
+      std::max<uint64_t>(pending_chunk_->enc.frame.encoded_bytes, 1);
+  acquiring_ = true;
+  throttle_->Acquire(wire_bytes, [this, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    acquiring_ = false;
+    if (finished_ || phase_ != MigrationPhase::kSnapshot) return;
+    if (!pending_chunk_.has_value()) {
+      // A NACK rewound the stream while the tokens were in flight; the
+      // grant is sunk but the pump restarts from the rewound cursor.
+      PumpSnapshot();
+      return;
+    }
+    PendingChunk pending = std::move(*pending_chunk_);
+    pending_chunk_.reset();
+    ++inflight_chunks_;
+    const uint64_t logical = pending.enc.frame.logical_bytes;
+    const uint64_t wire = pending.enc.frame.encoded_bytes;
+    report_.snapshot_bytes += logical;
+    report_.snapshot_wire_bytes += wire;
+    report_.codec_cpu_seconds += pending.enc.cpu_seconds;
+    switch (pending.enc.frame.codec) {
+      case codec::Codec::kRaw:
+        ++report_.chunks_raw;
+        break;
+      case codec::Codec::kLz:
+        ++report_.chunks_lz;
+        selector_->ObserveRatio(static_cast<double>(logical) /
+                                static_cast<double>(std::max<uint64_t>(wire, 1)));
+        break;
+      case codec::Codec::kDelta:
+        ++report_.chunks_delta;
+        break;
+    }
+    const uint64_t read_bytes = std::max<uint64_t>(logical, 1);
+    source_db_->ChargeSequentialRead(
+        read_bytes, kMigrationStreamId,
+        [this, alive, pending = std::move(pending)]() mutable {
+          if (alive.expired()) return;
+          auto send = [this, pending = std::move(pending)]() mutable {
+            net::Message msg;
+            msg.type = net::MessageType::kSnapshotChunk;
+            msg.tenant_id = tenant_id_;
+            msg.chunk_seq = pending.seq;
+            msg.payload_bytes = pending.enc.frame.logical_bytes;
+            msg.chunk_crc = pending.chunk_crc;
+            msg.frame = pending.enc.frame;
+            msg.rows = std::move(pending.enc.rows);
+            msg.removed_keys = std::move(pending.enc.removed_keys);
+            ctx_->SendMessage(source_server_, target_server_, msg);
+            if (auditor_ != nullptr) {
+              auditor_->OnChunkSent(tenant_id_, msg.payload_bytes,
+                                    msg.wire_payload_bytes());
+            }
+            if (tracer_ != nullptr) {
+              if (snapshot_bytes_counter_ != nullptr) {
+                snapshot_bytes_counter_->Add(msg.payload_bytes);
+              }
+              if (chunks_sent_counter_ != nullptr) chunks_sent_counter_->Add();
+              obs::SnapshotChunkSent sent;
+              sent.tenant_id = tenant_id_;
+              sent.seq = msg.chunk_seq;
+              sent.bytes = msg.payload_bytes;
+              obs::EmitSnapshotChunkSent(tracer_, sent);
+              obs::CodecChunkEncoded encoded;
+              encoded.tenant_id = tenant_id_;
+              encoded.seq = msg.chunk_seq;
+              encoded.codec = codec::CodecName(msg.frame.codec);
+              encoded.logical_bytes = msg.payload_bytes;
+              encoded.wire_bytes = msg.wire_payload_bytes();
+              encoded.cpu_ms = pending.enc.cpu_seconds * 1e3;
+              obs::EmitCodecChunkEncoded(tracer_, encoded);
+              if (codec_logical_bytes_counter_ != nullptr) {
+                codec_logical_bytes_counter_->Add(msg.payload_bytes);
+              }
+              if (codec_wire_bytes_counter_ != nullptr) {
+                codec_wire_bytes_counter_->Add(msg.wire_payload_bytes());
+              }
+              if (codec_cpu_ms_counter_ != nullptr) {
+                codec_cpu_ms_counter_->Add(pending.enc.cpu_seconds * 1e3);
+              }
+              if (codec_ratio_gauge_ != nullptr) {
+                codec_ratio_gauge_->Set(report_.CompressionRatio());
+              }
+            }
+            --inflight_chunks_;
+            PumpSnapshot();
+          };
+          const double encode_cost = pending.enc.cpu_seconds;
+          if (encode_cost > 0.0) {
+            // Compression burns source cores; the chunk leaves only
+            // after the encode job finishes.
+            source_db_->ChargeCpu(encode_cost,
+                                  [alive, send = std::move(send)]() mutable {
+                                    if (!alive.expired()) send();
+                                  });
+          } else {
+            send();
+          }
+        });
     PumpSnapshot();
   });
 }
@@ -550,6 +729,13 @@ void MigrationJob::OnSnapshotNack(const net::Message& message) {
     obs::EmitSnapshotNack(tracer_, nack);
   }
   // Go-back-N: rewind the cursor to the gap and restream from there.
+  if (options_.codec.mode != codec::CodecMode::kRaw) {
+    // The NACKed seq is exactly the chunk the target holds no staged
+    // base for (later chunks were staged when they arrived intact), so
+    // only this seq must resend raw; the rest may ship as deltas.
+    delta_blocked_.insert(message.chunk_seq);
+    pending_chunk_.reset();
+  }
   snapshot_->RewindTo(message.chunk_seq);
   snapshot_sent_end_ = false;
   PumpSnapshot();
@@ -578,6 +764,10 @@ void MigrationJob::BeginDeltaRounds() {
 
 void MigrationJob::ShipNextDelta() {
   if (finished_ || phase_ != MigrationPhase::kDelta) return;
+  if (options_.codec.mode != codec::CodecMode::kRaw) {
+    ShipNextDeltaEncoded();
+    return;
+  }
   const uint64_t pending = shipper_->PendingBytes();
   if (pending <= options_.delta_handover_bytes ||
       shipper_->rounds_shipped() >= options_.max_delta_rounds) {
@@ -597,6 +787,8 @@ void MigrationJob::ShipNextDelta() {
       return;
     }
     report_.delta_bytes += round->bytes;
+    report_.delta_wire_bytes += round->bytes;
+    ++report_.chunks_raw;
     ++report_.delta_rounds;
     if (tracer_ != nullptr) {
       if (delta_bytes_counter_ != nullptr) {
@@ -632,6 +824,119 @@ void MigrationJob::ShipNextDelta() {
   });
 }
 
+void MigrationJob::ShipNextDeltaEncoded() {
+  if (finished_ || phase_ != MigrationPhase::kDelta) return;
+  const uint64_t pending = shipper_->PendingBytes();
+  if (pending <= options_.delta_handover_bytes ||
+      shipper_->rounds_shipped() >= options_.max_delta_rounds) {
+    BeginHandover();
+    return;
+  }
+  // Unlike the raw path, the round is read *before* token acquisition:
+  // the throttle meters wire bytes, which only exist post-encode.
+  // Writes that land during the token wait roll into the next round.
+  Result<backup::DeltaRound> round_result = shipper_->ReadRound();
+  if (!round_result.ok()) {
+    Finish(round_result.status());
+    return;
+  }
+  if (round_result->empty()) {
+    BeginHandover();
+    return;
+  }
+  backup::DeltaRound round = std::move(*round_result);
+  codec::SelectorInputs inputs;
+  inputs.throttle_bytes_per_sec = throttle_->rate();
+  if (resource::CpuModel* cpu = ctx_->CpuOn(source_server_)) {
+    inputs.total_cores = cpu->cores();
+    inputs.busy_cores = cpu->busy_cores();
+  }
+  inputs.logical_bytes = round.bytes;
+  codec::EncodedChunk enc =
+      backup::EncodeRound(round, selector_->Choose(inputs), options_.codec);
+  report_.delta_bytes += round.bytes;
+  report_.delta_wire_bytes += enc.frame.encoded_bytes;
+  report_.codec_cpu_seconds += enc.cpu_seconds;
+  if (enc.frame.codec == codec::Codec::kLz) {
+    ++report_.chunks_lz;
+    selector_->ObserveRatio(
+        static_cast<double>(round.bytes) /
+        static_cast<double>(std::max<uint64_t>(enc.frame.encoded_bytes, 1)));
+  } else {
+    ++report_.chunks_raw;
+  }
+  ++report_.delta_rounds;
+  if (tracer_ != nullptr) {
+    if (delta_bytes_counter_ != nullptr) {
+      delta_bytes_counter_->Add(round.bytes);
+    }
+    obs::DeltaRoundShipped shipped;
+    shipped.tenant_id = tenant_id_;
+    shipped.round = report_.delta_rounds;
+    shipped.bytes = round.bytes;
+    shipped.remaining_bytes = shipper_->PendingBytes();
+    obs::EmitDeltaRoundShipped(tracer_, shipped);
+    delta_round_span_ = obs::TraceSpan(
+        tracer_, track_,
+        "delta round " + std::to_string(report_.delta_rounds), "delta");
+    delta_round_span_.AddArg("bytes", static_cast<double>(round.bytes));
+    delta_round_span_.AddArg("remaining_bytes",
+                             static_cast<double>(shipper_->PendingBytes()));
+    obs::CodecChunkEncoded encoded;
+    encoded.tenant_id = tenant_id_;
+    encoded.seq = static_cast<uint64_t>(report_.delta_rounds);
+    encoded.codec = codec::CodecName(enc.frame.codec);
+    encoded.logical_bytes = round.bytes;
+    encoded.wire_bytes = enc.frame.encoded_bytes;
+    encoded.cpu_ms = enc.cpu_seconds * 1e3;
+    obs::EmitCodecChunkEncoded(tracer_, encoded);
+    if (codec_logical_bytes_counter_ != nullptr) {
+      codec_logical_bytes_counter_->Add(round.bytes);
+    }
+    if (codec_wire_bytes_counter_ != nullptr) {
+      codec_wire_bytes_counter_->Add(enc.frame.encoded_bytes);
+    }
+    if (codec_cpu_ms_counter_ != nullptr) {
+      codec_cpu_ms_counter_->Add(enc.cpu_seconds * 1e3);
+    }
+    if (codec_ratio_gauge_ != nullptr) {
+      codec_ratio_gauge_->Set(report_.CompressionRatio());
+    }
+  }
+  const uint64_t wire_bytes = std::max<uint64_t>(enc.frame.encoded_bytes, 1);
+  throttle_->Acquire(
+      wire_bytes, [this, alive = std::weak_ptr<bool>(alive_),
+                   round = std::move(round), frame = enc.frame,
+                   cost = enc.cpu_seconds]() mutable {
+        if (alive.expired()) return;
+        if (finished_ || phase_ != MigrationPhase::kDelta) return;
+        const uint64_t read_bytes = std::max<uint64_t>(round.bytes, 1);
+        source_db_->ChargeSequentialRead(
+            read_bytes, kMigrationStreamId,
+            [this, alive, round = std::move(round), frame, cost]() mutable {
+              if (alive.expired()) return;
+              auto send = [this, round = std::move(round), frame]() mutable {
+                net::Message msg;
+                msg.type = net::MessageType::kDeltaBatch;
+                msg.tenant_id = tenant_id_;
+                msg.lsn = round.to;
+                msg.payload_bytes = round.bytes;
+                msg.frame = frame;
+                msg.log_records = std::move(round.records);
+                ctx_->SendMessage(source_server_, target_server_, msg);
+              };
+              if (cost > 0.0) {
+                source_db_->ChargeCpu(cost,
+                                      [alive, send = std::move(send)]() mutable {
+                                        if (!alive.expired()) send();
+                                      });
+              } else {
+                send();
+              }
+            });
+      });
+}
+
 void MigrationJob::BeginHandover() {
   EnterPhase(MigrationPhase::kHandover);
   if (options_.mode == MigrationMode::kStopAndCopy) {
@@ -659,6 +964,9 @@ void MigrationJob::OnSourceDrained() {
   }
   source_digest_ = source_db_->StateDigest();
   report_.delta_bytes += final_round.bytes;
+  // The final round always ships unencoded (handover bypasses both the
+  // throttle and the codec), so wire bytes equal logical bytes.
+  report_.delta_wire_bytes += final_round.bytes;
 
   const uint64_t read_bytes = std::max<uint64_t>(final_round.bytes, 1);
   // The final delta is tiny and the tenant is frozen: it ships at full
@@ -963,7 +1271,8 @@ void TargetSession::HandleMessage(const net::Message& message) {
     // that still trickle in so the source-side ledger stays balanced.
     if (message.type == net::MessageType::kSnapshotChunk &&
         auditor_ != nullptr) {
-      auditor_->OnChunkDropped(tenant_id_, message.payload_bytes);
+      auditor_->OnChunkDropped(tenant_id_, message.payload_bytes,
+                               message.wire_payload_bytes());
     }
     return;
   }
@@ -994,19 +1303,50 @@ void TargetSession::HandleMessage(const net::Message& message) {
       return;
     }
     case net::MessageType::kSnapshotChunk: {
+      const uint64_t wire_payload = message.wire_payload_bytes();
+      // Decode before the seq-order logic: a delta frame reconstructs
+      // against its durably staged base; a base miss is handled exactly
+      // like corruption (discard + NACK → raw resend converges).
+      std::vector<storage::Record> rows = message.rows;
+      bool decodable = true;
+      if (message.frame.codec == codec::Codec::kDelta) {
+        const StagedChunkBase* base =
+            store_ == nullptr
+                ? nullptr
+                : store_->ChunkBase(tenant_id_, message.chunk_seq);
+        if (base == nullptr || base->crc != message.frame.base_crc) {
+          decodable = false;
+        } else {
+          rows = codec::ApplyRowDelta(base->rows, message.rows,
+                                      message.removed_keys);
+        }
+      }
+      const bool crc_ok =
+          decodable && codec::ChunkCrc(rows) == message.chunk_crc &&
+          codec::VerifyPayloadCrc(message.frame, rows,
+                                  wire_config_.record_bytes);
       if (message.chunk_seq < expected_seq_) {
         // Duplicate (go-back-N overlap): already applied once.
         if (auditor_ != nullptr) {
-          auditor_->OnChunkDiscarded(tenant_id_, message.payload_bytes);
+          auditor_->OnChunkDiscarded(tenant_id_, message.payload_bytes,
+                                     wire_payload);
         }
         return;
       }
-      if (message.chunk_seq > expected_seq_ ||
-          backup::ChunkCrc(message.rows) != message.chunk_crc) {
+      if (message.chunk_seq > expected_seq_ || !crc_ok) {
+        if (crc_ok && store_ != nullptr) {
+          // Intact but out of order: durably stage the reconstructed
+          // rows as a delta base — the go-back-N retransmission of this
+          // seq may then ship as a delta against them.
+          store_->StageChunkBase(
+              tenant_id_, message.chunk_seq, message.chunk_crc, rows,
+              static_cast<size_t>(options_.codec.max_cached_chunks));
+        }
         // Gap or corruption: ask the source to go back to the first
         // chunk we cannot accept.
         if (auditor_ != nullptr) {
-          auditor_->OnChunkDiscarded(tenant_id_, message.payload_bytes);
+          auditor_->OnChunkDiscarded(tenant_id_, message.payload_bytes,
+                                     wire_payload);
         }
         MaybeNack();
         return;
@@ -1014,13 +1354,18 @@ void TargetSession::HandleMessage(const net::Message& message) {
       last_nacked_seq_ = UINT64_MAX;
       chunks_since_nack_ = 0;
       expected_seq_ = message.chunk_seq + 1;
+      if (store_ != nullptr) store_->EraseChunkBase(tenant_id_, message.chunk_seq);
       if (auditor_ != nullptr) {
-        auditor_->OnChunkApplied(tenant_id_, message.payload_bytes);
+        auditor_->OnChunkApplied(tenant_id_, message.payload_bytes,
+                                 wire_payload);
       }
-      ApplyRows(message.rows, staging_->mutable_table());
-      rows_received_ += message.rows.size();
+      // Decompression / delta reconstruction busies a target core.
+      const double decode_cost =
+          codec::DecodeCpuSeconds(message.frame, options_.codec);
+      if (decode_cost > 0.0) staging_->ChargeCpu(decode_cost, nullptr);
+      ApplyRows(rows, staging_->mutable_table());
+      rows_received_ += rows.size();
       const uint64_t payload = std::max<uint64_t>(message.payload_bytes, 1);
-      auto rows = message.rows;
       staging_->ChargeSequentialWrite(
           payload, kStagingStreamId,
           [this, alive = std::weak_ptr<bool>(alive_),
@@ -1054,11 +1399,27 @@ void TargetSession::HandleMessage(const net::Message& message) {
       return;
     }
     case net::MessageType::kDeltaBatch: {
+      if (message.frame.codec != codec::Codec::kRaw) {
+        // The frame rode a CRC-checked envelope; re-derive the round's
+        // payload from the log records and hold it to the frame's
+        // payload CRC. A mismatch is in-memory corruption.
+        const std::vector<storage::Record> images =
+            backup::RowImagesFromLog(message.log_records);
+        const uint64_t per_image =
+            images.empty() ? 0
+                           : message.payload_bytes /
+                                 static_cast<uint64_t>(images.size());
+        SLACKER_CHECK(
+            codec::VerifyPayloadCrc(message.frame, images, per_image),
+            "delta round payload crc mismatch");
+      }
       // Apply cost scales with the round size, busying a target core;
-      // the ack is sent once application completes.
+      // the ack is sent once application completes. Compressed rounds
+      // additionally pay the decode cost before replay.
       const SimTime apply_cost =
           options_.delta_apply_seconds_per_mib *
-          (static_cast<double>(message.payload_bytes) / kMiB);
+              (static_cast<double>(message.payload_bytes) / kMiB) +
+          codec::DecodeCpuSeconds(message.frame, options_.codec);
       auto records = message.log_records;
       const storage::Lsn to = message.lsn;
       staging_->ChargeCpu(apply_cost,

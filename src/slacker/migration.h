@@ -3,18 +3,24 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/backup/delta_shipper.h"
 #include "src/backup/hot_backup.h"
+#include "src/codec/chunk_codec.h"
+#include "src/codec/selector.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/control/latency_monitor.h"
 #include "src/engine/tenant_db.h"
 #include "src/net/message.h"
 #include "src/obs/trace.h"
+#include "src/resource/cpu.h"
 #include "src/resource/token_bucket.h"
 #include "src/sim/simulator.h"
 #include "src/slacker/durable_store.h"
@@ -60,6 +66,11 @@ class MigrationContext {
   /// context does not audit (mock contexts) — hooks must treat null as
   /// a no-op, mirroring tracer().
   virtual InvariantAuditor* auditor() { return nullptr; }
+  /// CPU model of `server_id`, or nullptr when the context has none —
+  /// the adaptive codec selector then assumes one free core.
+  virtual resource::CpuModel* CpuOn(uint64_t /*server_id*/) {
+    return nullptr;
+  }
 };
 
 /// One try of a supervised migration (MigrationSupervisor fills these).
@@ -100,6 +111,16 @@ struct [[nodiscard]] MigrationReport {
 
   uint64_t snapshot_bytes = 0;
   uint64_t delta_bytes = 0;
+  /// Post-codec bytes actually metered through throttle and link
+  /// (equal to the logical counts when the stream ships raw).
+  uint64_t snapshot_wire_bytes = 0;
+  uint64_t delta_wire_bytes = 0;
+  /// Per-chunk codec decisions (snapshot chunks + delta rounds).
+  uint64_t chunks_raw = 0;
+  uint64_t chunks_lz = 0;
+  uint64_t chunks_delta = 0;
+  /// Modeled source-side CPU spent encoding (compress + delta).
+  double codec_cpu_seconds = 0.0;
   int delta_rounds = 0;
   /// Source and target state digests agreed at handover.
   bool digest_match = false;
@@ -124,6 +145,9 @@ struct [[nodiscard]] MigrationReport {
   /// Payload moved divided by wall time — the paper's "average throttle
   /// speed over the entire duration of migration".
   double AverageRateMbps() const;
+  /// Logical bytes / wire bytes across snapshot + delta (1.0 when the
+  /// stream shipped raw).
+  double CompressionRatio() const;
 };
 
 /// Source-side driver of one migration (§2.3.2's three steps plus
@@ -171,12 +195,24 @@ class MigrationJob {
   void OnAccepted(bool resume_offer, const net::Message& message);
   void BeginSnapshot();
   void PumpSnapshot();
+  /// Codec-enabled snapshot pump (options_.codec.mode != kRaw): picks a
+  /// per-chunk codec, encodes, then meters *wire* bytes through the
+  /// throttle while progress accounting stays logical. The raw pump
+  /// stays byte-identical for golden traces.
+  void PumpSnapshotEncoded();
+  /// Reads the next chunk and encodes it under the selector's choice;
+  /// fills pending_chunk_.
+  void ProducePendingChunk();
   void OnSnapshotDrained();
   /// Target reported a gap or corrupt chunk: go-back-N to `chunk_seq`.
   void OnSnapshotNack(const net::Message& message);
   void BeginPrepare();
   void BeginDeltaRounds();
   void ShipNextDelta();
+  /// Codec-enabled delta shipping: rounds are read first (wire size is
+  /// only known post-encode), LZ-compressed when the selector engages,
+  /// and metered through the throttle in wire bytes.
+  void ShipNextDeltaEncoded();
   void BeginHandover();
   void OnSourceDrained();
   void OnHandoverAck(const net::Message& message);
@@ -212,6 +248,12 @@ class MigrationJob {
   obs::Counter* snapshot_bytes_counter_ = nullptr;
   obs::Counter* delta_bytes_counter_ = nullptr;
   obs::Counter* chunks_sent_counter_ = nullptr;
+  // Codec metrics; registered lazily in Start() only when both tracing
+  // and a non-raw codec are on, so default runs add no metric rows.
+  obs::Counter* codec_logical_bytes_counter_ = nullptr;
+  obs::Counter* codec_wire_bytes_counter_ = nullptr;
+  obs::Counter* codec_cpu_ms_counter_ = nullptr;
+  obs::Gauge* codec_ratio_gauge_ = nullptr;
 
   engine::TenantDb* source_db_ = nullptr;
   std::unique_ptr<resource::TokenBucket> throttle_;
@@ -237,6 +279,29 @@ class MigrationJob {
   int retransmit_rounds_ = 0;
   /// Consecutive over-threshold controller ticks (overload bail-out).
   int overload_strikes_ = 0;
+
+  // --- Codec pipeline state (inert when options_.codec.mode == kRaw).
+  /// Per-chunk adaptive codec choice.
+  std::unique_ptr<codec::CodecSelector> selector_;
+  /// A transmitted chunk kept as a future delta-retransmission base,
+  /// keyed by seq; mirrors what the target durably stages. Bounded by
+  /// codec.max_cached_chunks (lowest seq evicted first).
+  struct CachedChunk {
+    uint32_t crc = 0;
+    std::vector<storage::Record> rows;
+  };
+  std::map<uint64_t, CachedChunk> chunk_cache_;
+  /// Seqs that must NOT delta-encode on retransmit: a NACKed seq is
+  /// precisely the chunk the target failed to stage, so no base exists
+  /// there. Cleared per migration.
+  std::set<uint64_t> delta_blocked_;
+  /// The encoded chunk currently waiting on throttle tokens.
+  struct PendingChunk {
+    uint64_t seq = 0;
+    uint32_t chunk_crc = 0;
+    codec::EncodedChunk enc;
+  };
+  std::optional<PendingChunk> pending_chunk_;
 
   // Expires when the job is destroyed; async callbacks routed through
   // external resources (disk queues, CPU queues, freeze waiters) check

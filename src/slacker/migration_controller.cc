@@ -79,7 +79,8 @@ void MigrationController::HandleMessage(uint64_t from_server,
           // Sessionless chunks (stale stream after an abort) vanish
           // here; the conservation ledger counts them as dropped.
           ctx_->auditor()->OnChunkDropped(message.tenant_id,
-                                          message.payload_bytes);
+                                          message.payload_bytes,
+                                          message.wire_payload_bytes());
         }
         return;
       }

@@ -23,6 +23,7 @@ Status MigrationOptions::Validate() const {
   if (backup.chunk_bytes == 0) {
     return Status::InvalidArgument("chunk_bytes must be positive");
   }
+  SLACKER_RETURN_IF_ERROR(codec.Validate());
   if (max_delta_rounds <= 0) {
     return Status::InvalidArgument("max_delta_rounds must be positive");
   }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/backup/hot_backup.h"
+#include "src/codec/codec.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/control/adaptive_pid.h"
@@ -57,6 +58,11 @@ struct MigrationOptions {
 
   backup::HotBackupOptions backup;
   backup::PrepareOptions prepare;
+
+  /// Stream codec policy (kRaw keeps the pre-codec wire format and
+  /// byte-identical goldens). Both endpoints must agree on the rates;
+  /// the target uses its own copy to price decode CPU.
+  codec::CodecConfig codec;
 
   /// Handover begins once the pending delta shrinks below this.
   uint64_t delta_handover_bytes = 256 * kKiB;

@@ -1,0 +1,513 @@
+// Tests for the src/codec subsystem: the deterministic LZ block
+// compressor, the checksummed frame header, the row-delta encoder, the
+// adaptive selector, and the end-to-end delta-retransmission path
+// (HotBackupStream::RewindTo reconciling against a mutated table, and a
+// full migration with a forced NACK shipping delta frames).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/backup/delta_shipper.h"
+#include "src/backup/hot_backup.h"
+#include "src/codec/chunk_codec.h"
+#include "src/codec/delta.h"
+#include "src/codec/frame.h"
+#include "src/codec/lz.h"
+#include "src/codec/payload.h"
+#include "src/codec/selector.h"
+#include "src/common/bytes.h"
+#include "src/common/random.h"
+#include "src/common/units.h"
+#include "src/engine/tenant_db.h"
+#include "src/net/channel.h"
+#include "src/resource/cpu.h"
+#include "src/resource/disk.h"
+#include "src/sim/simulator.h"
+#include "src/slacker/cluster.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker::codec {
+namespace {
+
+// ---------------------------------------------------------------- LZ
+
+std::vector<uint8_t> RandomBytes(Rng* rng, size_t n) {
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng->Next());
+  return out;
+}
+
+TEST(LzTest, RoundTripRandomSizes) {
+  Rng rng(0x17a);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto input = RandomBytes(&rng, rng.NextBelow(5000));
+    const auto compressed = LzCompress(input);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(LzDecompress(compressed, input.size(), &out).ok()) << trial;
+    EXPECT_EQ(out, input) << trial;
+  }
+}
+
+TEST(LzTest, CompressesRedundantInput) {
+  std::vector<uint8_t> input(64 * 1024, 0x5a);
+  const auto compressed = LzCompress(input);
+  EXPECT_LT(compressed.size(), input.size() / 8);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(LzDecompress(compressed, input.size(), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(LzTest, IncompressibleInputDoesNotExplode) {
+  Rng rng(0x17b);
+  const auto input = RandomBytes(&rng, 8192);
+  const auto compressed = LzCompress(input);
+  // Worst case is one op byte per 128 literals.
+  EXPECT_LE(compressed.size(), input.size() + input.size() / 128 + 2);
+}
+
+TEST(LzTest, TruncationAndSizeMismatchRejected) {
+  std::vector<uint8_t> input(4096, 0x33);
+  for (size_t i = 0; i < input.size(); i += 7) {
+    input[i] = static_cast<uint8_t>(i);
+  }
+  auto compressed = LzCompress(input);
+  std::vector<uint8_t> out;
+  // Wrong expected size: corruption.
+  EXPECT_FALSE(LzDecompress(compressed, input.size() + 1, &out).ok());
+  EXPECT_FALSE(LzDecompress(compressed, input.size() - 1, &out).ok());
+  // Truncated token stream: corruption.
+  compressed.pop_back();
+  EXPECT_FALSE(LzDecompress(compressed, input.size(), &out).ok());
+}
+
+TEST(LzTest, DeterministicOutput) {
+  Rng rng(0x17c);
+  const auto input = RandomBytes(&rng, 4096);
+  EXPECT_EQ(LzCompress(input), LzCompress(input));
+}
+
+// ------------------------------------------------------------- Payload
+
+TEST(PayloadTest, DeterministicAndRedundancyControlsRatio) {
+  const storage::Record rec{42, 7, 0xabc};
+  const auto a = MaterializeCompressiblePayload(rec, 1024, 0.75);
+  const auto b = MaterializeCompressiblePayload(rec, 1024, 0.75);
+  EXPECT_EQ(a, b);
+
+  const auto noise = MaterializeCompressiblePayload(rec, 16 * 1024, 0.0);
+  const auto redundant = MaterializeCompressiblePayload(rec, 16 * 1024, 0.75);
+  EXPECT_GT(LzCompress(noise).size(), LzCompress(redundant).size());
+  // ~1/(1 - r) ratio on the redundant payload.
+  EXPECT_LT(LzCompress(redundant).size(), redundant.size() / 2);
+}
+
+// --------------------------------------------------------------- Frame
+
+FrameHeader SampleFrame() {
+  FrameHeader frame;
+  frame.codec = Codec::kDelta;
+  frame.logical_bytes = 1 << 20;
+  frame.encoded_bytes = 123456;
+  frame.payload_crc = 0xdeadbeef;
+  frame.base_crc = 0x12345678;
+  frame.payload_redundancy = 0.5;
+  return frame;
+}
+
+TEST(FrameTest, HeaderRoundTrip) {
+  const FrameHeader frame = SampleFrame();
+  ByteWriter writer;
+  frame.EncodeTo(&writer);
+  ByteReader reader(writer.data());
+  FrameHeader out;
+  ASSERT_TRUE(out.DecodeFrom(&reader).ok());
+  EXPECT_EQ(out, frame);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(FrameTest, EveryHeaderByteIsCrcProtected) {
+  const FrameHeader frame = SampleFrame();
+  ByteWriter writer;
+  frame.EncodeTo(&writer);
+  const std::vector<uint8_t> bytes = writer.data();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0x20;
+    ByteReader reader(corrupt);
+    FrameHeader out;
+    // Either the header CRC (or magic/version check) rejects it, or the
+    // flip hit a varint continuation and truncation is detected —
+    // never a silently-wrong decode.
+    EXPECT_FALSE(out.DecodeFrom(&reader).ok() && out == frame) << i;
+  }
+}
+
+TEST(FrameTest, ChunkCrcIsOrderAndContentSensitive) {
+  std::vector<storage::Record> rows = {{1, 2, 3}, {4, 5, 6}};
+  const uint32_t crc = ChunkCrc(rows);
+  EXPECT_EQ(crc, ChunkCrc(rows));
+  std::vector<storage::Record> swapped = {{4, 5, 6}, {1, 2, 3}};
+  EXPECT_NE(crc, ChunkCrc(swapped));
+  rows[1].digest ^= 1;
+  EXPECT_NE(crc, ChunkCrc(rows));
+}
+
+// --------------------------------------------------------------- Delta
+
+std::vector<storage::Record> RandomSortedRows(Rng* rng, uint64_t max_rows) {
+  std::set<uint64_t> keys;
+  const uint64_t n = rng->NextBelow(max_rows);
+  while (keys.size() < n) keys.insert(rng->NextBelow(10 * max_rows));
+  std::vector<storage::Record> rows;
+  for (const uint64_t key : keys) {
+    rows.push_back(storage::Record{key, rng->Next(), rng->Next()});
+  }
+  return rows;
+}
+
+TEST(DeltaTest, ComputeApplyInvariant) {
+  Rng rng(0xde17a);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto base = RandomSortedRows(&rng, 64);
+    // `current` = base with random mutations, insertions, deletions.
+    std::vector<storage::Record> current;
+    for (const auto& row : base) {
+      const uint64_t action = rng.NextBelow(4);
+      if (action == 0) continue;  // Deleted.
+      storage::Record copy = row;
+      if (action == 1) {          // Mutated.
+        copy.lsn += 1;
+        copy.digest = rng.Next();
+      }
+      current.push_back(copy);
+    }
+    for (const auto& extra : RandomSortedRows(&rng, 8)) {
+      storage::Record shifted = extra;
+      shifted.key += 10 * 64;  // Keys beyond the base range: inserts.
+      current.push_back(shifted);
+    }
+    std::sort(current.begin(), current.end(),
+              [](const storage::Record& a, const storage::Record& b) {
+                return a.key < b.key;
+              });
+
+    const RowDelta delta = ComputeRowDelta(base, current);
+    EXPECT_EQ(ApplyRowDelta(base, delta.changed, delta.removed_keys), current)
+        << trial;
+  }
+}
+
+TEST(DeltaTest, IdenticalInputsYieldEmptyDelta) {
+  Rng rng(0xde17b);
+  const auto rows = RandomSortedRows(&rng, 32);
+  EXPECT_TRUE(ComputeRowDelta(rows, rows).empty());
+  EXPECT_EQ(ApplyRowDelta(rows, {}, {}), rows);
+}
+
+// ------------------------------------------------------------ Selector
+
+TEST(SelectorTest, EngagesLzOnlyWhenNetworkBound) {
+  CodecConfig config;
+  config.mode = CodecMode::kAdaptive;
+  CodecSelector selector(config);
+
+  SelectorInputs inputs;
+  inputs.throttle_bytes_per_sec = 10.0 * kMiB;  // Slow wire.
+  inputs.total_cores = 8;
+  inputs.busy_cores = 1.0;
+  EXPECT_EQ(selector.Choose(inputs), Codec::kLz);
+
+  // Saturated CPU: compression would become the bottleneck.
+  inputs.busy_cores = 8.0;
+  EXPECT_EQ(selector.Choose(inputs), Codec::kRaw);
+
+  // Fast wire, one free core: the throttle drains faster than one core
+  // can compress — stay raw.
+  inputs.busy_cores = 7.0;
+  inputs.throttle_bytes_per_sec = 200.0 * kMiB;
+  EXPECT_EQ(selector.Choose(inputs), Codec::kRaw);
+}
+
+TEST(SelectorTest, DeltaBaseWinsInAdaptiveAndDeltaModes) {
+  SelectorInputs inputs;
+  inputs.throttle_bytes_per_sec = 10.0 * kMiB;
+  inputs.total_cores = 8;
+  inputs.has_delta_base = true;
+  for (const CodecMode mode : {CodecMode::kDelta, CodecMode::kAdaptive}) {
+    CodecConfig config;
+    config.mode = mode;
+    EXPECT_EQ(CodecSelector(config).Choose(inputs), Codec::kDelta);
+  }
+  // Forced-LZ mode never delta-encodes.
+  CodecConfig lz;
+  lz.mode = CodecMode::kLz;
+  EXPECT_EQ(CodecSelector(lz).Choose(inputs), Codec::kLz);
+}
+
+TEST(SelectorTest, DeltaModeWithoutBaseShipsRaw) {
+  CodecConfig config;
+  config.mode = CodecMode::kDelta;
+  SelectorInputs inputs;
+  inputs.throttle_bytes_per_sec = 1.0 * kMiB;
+  inputs.total_cores = 8;
+  EXPECT_EQ(CodecSelector(config).Choose(inputs), Codec::kRaw);
+}
+
+TEST(SelectorTest, ObservedRatioFeedsBackIntoEngageDecision) {
+  CodecConfig config;
+  config.mode = CodecMode::kAdaptive;
+  CodecSelector selector(config);
+  const double prior = selector.expected_ratio();
+  EXPECT_NEAR(prior, 2.0, 1e-9);  // redundancy 0.5 → ~2x.
+  for (int i = 0; i < 50; ++i) selector.ObserveRatio(4.0);
+  EXPECT_GT(selector.expected_ratio(), 3.5);
+
+  // A higher expected ratio raises the logical drain rate, so a
+  // borderline CPU budget that engaged at 2x no longer engages at ~4x.
+  SelectorInputs inputs;
+  inputs.total_cores = 1;
+  inputs.busy_cores = 0.0;
+  // One core compresses 150 MiB/s; engage needs rate*ratio*1.25 below.
+  inputs.throttle_bytes_per_sec = 40.0 * kMiB;
+  CodecSelector fresh(config);
+  EXPECT_EQ(fresh.Choose(inputs), Codec::kLz);       // 40*2*1.25 = 100.
+  EXPECT_EQ(selector.Choose(inputs), Codec::kRaw);   // 40*~4*1.25 > 150.
+}
+
+// ----------------------------------------------------------- ChunkCodec
+
+TEST(ChunkCodecTest, DeltaWithoutBaseFallsBackToRaw) {
+  Rng rng(0xcc01);
+  const auto rows = RandomSortedRows(&rng, 32);
+  CodecConfig config;
+  config.mode = CodecMode::kDelta;
+  const EncodedChunk enc =
+      EncodeSnapshotChunk(rows, rows.size() * kKiB, Codec::kDelta, config,
+                          kKiB, nullptr);
+  EXPECT_EQ(enc.frame.codec, Codec::kRaw);
+  EXPECT_EQ(enc.frame.encoded_bytes, rows.size() * kKiB);
+}
+
+TEST(ChunkCodecTest, LzFrameVerifiesPayloadCrcEndToEnd) {
+  Rng rng(0xcc02);
+  const auto rows = RandomSortedRows(&rng, 48);
+  CodecConfig config;
+  config.mode = CodecMode::kLz;
+  config.payload_redundancy = 0.75;
+  const EncodedChunk enc = EncodeSnapshotChunk(
+      rows, rows.size() * kKiB, Codec::kLz, config, kKiB, nullptr);
+  ASSERT_EQ(enc.frame.codec, Codec::kLz);
+  EXPECT_LT(enc.frame.encoded_bytes, enc.frame.logical_bytes);
+  EXPECT_GT(enc.cpu_seconds, 0.0);
+  EXPECT_GT(DecodeCpuSeconds(enc.frame, config), 0.0);
+
+  // The target re-materializes the payload from the received rows.
+  EXPECT_TRUE(VerifyPayloadCrc(enc.frame, rows, kKiB));
+  std::vector<storage::Record> tampered = rows;
+  tampered.front().digest ^= 1;
+  EXPECT_FALSE(VerifyPayloadCrc(enc.frame, tampered, kKiB));
+}
+
+// ---------------------------------------- RewindTo × delta retransmission
+
+engine::TenantConfig SmallConfig(uint64_t id = 1) {
+  engine::TenantConfig config;
+  config.tenant_id = id;
+  config.layout.record_count = 1024;  // 1 MiB of 1 KiB rows.
+  config.buffer_pool_bytes = 16 * 16 * kKiB;
+  return config;
+}
+
+TEST(DeltaRetransmissionTest, RewindedChunkReconcilesAsDeltaOrRaw) {
+  // The go-back-N story end to end at the stream level: transmit a
+  // chunk, mutate rows inside it, rewind, re-read, and ship the re-read
+  // as a delta against the first transmission. The reconstruction on
+  // the "target" must equal a raw resend of the re-read chunk.
+  sim::Simulator sim;
+  resource::DiskModel disk(&sim, resource::DiskOptions{});
+  resource::CpuModel cpu(&sim, resource::CpuOptions{});
+  engine::TenantDb db(&sim, &disk, &cpu, SmallConfig());
+  db.Load();
+
+  backup::HotBackupOptions options;
+  options.chunk_bytes = 64 * kKiB;  // 64 rows per chunk.
+  backup::HotBackupStream stream(&db, options);
+
+  // First transmission of chunk 0 — the source caches these rows as a
+  // future delta base; the target stages them durably.
+  const auto first = stream.NextChunk();
+  ASSERT_EQ(first.seq, 0u);
+  const std::vector<storage::Record> base_rows = first.rows;
+
+  // Writes land inside chunk 0's key range between the transmissions.
+  for (uint64_t key = 0; key < 64; key += 5) {
+    db.ExecuteOp(engine::Operation{engine::OpType::kUpdate, key}, nullptr);
+  }
+  sim.RunUntil(1.0);
+
+  // NACK: rewind and re-read.
+  stream.RewindTo(0);
+  const auto second = stream.NextChunk();
+  ASSERT_EQ(second.seq, 0u);
+  EXPECT_NE(backup::ChunkCrc(second.rows), backup::ChunkCrc(base_rows));
+
+  CodecConfig config;
+  config.mode = CodecMode::kAdaptive;
+  const EncodedChunk enc = backup::EncodeChunk(
+      second, Codec::kDelta, config,
+      db.config().layout.record_bytes, &base_rows);
+  ASSERT_EQ(enc.frame.codec, Codec::kDelta);
+  EXPECT_EQ(enc.frame.base_crc, ChunkCrc(base_rows));
+  // Only the mutated rows ride the wire.
+  EXPECT_LT(enc.rows.size(), second.rows.size());
+  EXPECT_LT(enc.frame.encoded_bytes, enc.frame.logical_bytes);
+
+  // Target side: apply the delta to the staged base. The result must be
+  // exactly what a raw resend would have delivered.
+  const std::vector<storage::Record> reconstructed =
+      ApplyRowDelta(base_rows, enc.rows, enc.removed_keys);
+  EXPECT_EQ(reconstructed, second.rows);
+  EXPECT_EQ(ChunkCrc(reconstructed), ChunkCrc(second.rows));
+}
+
+// -------------------------------------------- End-to-end forced-NACK
+
+TEST(CodecMigrationTest, ForcedNackShipsDeltaFramesAndConverges) {
+  // Drop exactly one snapshot chunk mid-stream. The gap NACKs, the
+  // source rewinds, and — in adaptive mode — every re-sent chunk the
+  // target already staged ships as a delta frame. The migration must
+  // still converge with matching digests.
+  sim::Simulator sim;
+  ClusterOptions cluster_options;
+  cluster_options.num_servers = 2;
+  Cluster cluster(&sim, cluster_options);
+
+  engine::TenantConfig tenant;
+  tenant.tenant_id = 1;
+  tenant.layout.record_count = 16 * 1024;
+  tenant.buffer_pool_bytes = 2 * kMiB;
+  ASSERT_TRUE(cluster.AddTenant(0, tenant).ok());
+
+  auto dropped = std::make_shared<bool>(false);
+  cluster.ChannelBetween(0, 1)->SetDeliveryFilter(
+      [dropped](net::Message* m) {
+        if (!*dropped && m->type == net::MessageType::kSnapshotChunk &&
+            m->chunk_seq == 2) {
+          *dropped = true;
+          return false;
+        }
+        return true;
+      });
+
+  workload::YcsbConfig ycsb;
+  ycsb.record_count = tenant.layout.record_count;
+  ycsb.mean_interarrival = 0.2;
+  workload::YcsbWorkload workload(ycsb, 1, 0xc0de);
+  workload::ClientPool pool(&sim, &workload, &cluster,
+                            cluster.MakeLatencyObserver());
+  cluster.AttachClientPool(1, &pool);
+  pool.Start();
+  sim.RunUntil(2.0);
+
+  MigrationOptions options;
+  options.throttle = ThrottleKind::kFixed;
+  options.fixed_rate_mbps = 16.0;
+  options.prepare.base_seconds = 0.5;
+  options.codec.mode = CodecMode::kAdaptive;
+  MigrationReport report;
+  bool done = false;
+  ASSERT_TRUE(cluster
+                  .StartMigration(1, 1, options,
+                                  [&](const MigrationReport& r) {
+                                    report = r;
+                                    done = true;
+                                  })
+                  .ok());
+  sim.RunUntil(120.0);
+  pool.Stop();
+  sim.RunUntil(140.0);
+
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_TRUE(report.digest_match);
+  EXPECT_TRUE(*dropped);
+
+  // The retransmitted tail shipped as deltas against staged bases.
+  EXPECT_GE(report.chunks_delta, 1u);
+  // The compressible workload plus the retransmission deltas must beat
+  // raw on the wire.
+  EXPECT_LT(report.snapshot_wire_bytes, report.snapshot_bytes);
+  EXPECT_GT(report.CompressionRatio(), 1.0);
+  EXPECT_GT(report.codec_cpu_seconds, 0.0);
+}
+
+TEST(CodecMigrationTest, RawAndAdaptiveConvergeToSameAuthority) {
+  // Same cluster, workload, and seed under --codec=raw and
+  // --codec=adaptive: both must hand over with matching digests —
+  // compression is transparent to correctness.
+  for (const CodecMode mode : {CodecMode::kRaw, CodecMode::kAdaptive}) {
+    sim::Simulator sim;
+    ClusterOptions cluster_options;
+    cluster_options.num_servers = 2;
+    Cluster cluster(&sim, cluster_options);
+
+    engine::TenantConfig tenant;
+    tenant.tenant_id = 1;
+    tenant.layout.record_count = 8 * 1024;
+    tenant.buffer_pool_bytes = 2 * kMiB;
+    ASSERT_TRUE(cluster.AddTenant(0, tenant).ok());
+
+    workload::YcsbConfig ycsb;
+    ycsb.record_count = tenant.layout.record_count;
+    ycsb.mean_interarrival = 0.3;
+    workload::YcsbWorkload workload(ycsb, 1, 7);
+    workload::ClientPool pool(&sim, &workload, &cluster,
+                              cluster.MakeLatencyObserver());
+    cluster.AttachClientPool(1, &pool);
+    pool.Start();
+    sim.RunUntil(2.0);
+
+    MigrationOptions options;
+    options.throttle = ThrottleKind::kFixed;
+    options.fixed_rate_mbps = 16.0;
+    options.prepare.base_seconds = 0.5;
+    options.codec.mode = mode;
+    MigrationReport report;
+    bool done = false;
+    ASSERT_TRUE(cluster
+                    .StartMigration(1, 1, options,
+                                    [&](const MigrationReport& r) {
+                                      report = r;
+                                      done = true;
+                                    })
+                    .ok());
+    sim.RunUntil(120.0);
+    pool.Stop();
+    sim.RunUntil(140.0);
+
+    ASSERT_TRUE(done) << CodecModeName(mode);
+    ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+    EXPECT_TRUE(report.digest_match) << CodecModeName(mode);
+    EXPECT_EQ(*cluster.directory()->Lookup(1), 1u);
+    if (mode == CodecMode::kRaw) {
+      // Raw accounting: wire bytes equal logical bytes exactly.
+      EXPECT_EQ(report.snapshot_wire_bytes, report.snapshot_bytes);
+      EXPECT_EQ(report.delta_wire_bytes, report.delta_bytes);
+      EXPECT_EQ(report.chunks_lz, 0u);
+      EXPECT_EQ(report.chunks_delta, 0u);
+      EXPECT_DOUBLE_EQ(report.CompressionRatio(), 1.0);
+    } else {
+      EXPECT_GT(report.chunks_lz, 0u);
+      EXPECT_LT(report.snapshot_wire_bytes, report.snapshot_bytes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slacker::codec

@@ -388,7 +388,8 @@ TEST(HistogramTest, OutOfRangeValuesClampToEdgeBuckets) {
 TEST(ChecksumTest, Crc32cKnownVector) {
   // "123456789" -> 0xE3069283 (CRC-32C check value).
   const char* data = "123456789";
-  EXPECT_EQ(Crc32c(reinterpret_cast<const uint8_t*>(data), 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c(reinterpret_cast<const uint8_t*>(data), 9),  // NOLINT(slacker-wire-decode)
+            0xE3069283u);
 }
 
 TEST(ChecksumTest, Crc32cDetectsBitFlip) {

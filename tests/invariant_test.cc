@@ -74,9 +74,9 @@ TEST(InvariantAuditorDeathTest, ThrottleRateOutsideClampIsFatal) {
 TEST(InvariantAuditorDeathTest, ByteConservationMismatchIsFatal) {
   InvariantAuditor auditor;
   auditor.BeginMigration(3);
-  auditor.OnChunkSent(3, 4 * kMiB);
-  auditor.OnChunkSent(3, 4 * kMiB);
-  auditor.OnChunkApplied(3, 4 * kMiB);
+  auditor.OnChunkSent(3, 4 * kMiB, 4 * kMiB);
+  auditor.OnChunkSent(3, 4 * kMiB, 4 * kMiB);
+  auditor.OnChunkApplied(3, 4 * kMiB, 4 * kMiB);
   // One 4 MiB chunk vanished without a matching drop/discard record.
   EXPECT_DEATH(auditor.CheckChunkConservation(3), "conservation");
 }
@@ -84,12 +84,14 @@ TEST(InvariantAuditorDeathTest, ByteConservationMismatchIsFatal) {
 TEST(InvariantAuditorTest, BalancedLedgerPasses) {
   InvariantAuditor auditor;
   auditor.BeginMigration(3);
-  auditor.OnChunkSent(3, 4 * kMiB);
-  auditor.OnChunkSent(3, 4 * kMiB);
-  auditor.OnChunkSent(3, 2 * kMiB);
-  auditor.OnChunkApplied(3, 4 * kMiB);
-  auditor.OnChunkDiscarded(3, 4 * kMiB);  // Duplicate after a NACK.
-  auditor.OnChunkDropped(3, 2 * kMiB);    // Eaten by a partition.
+  // Wire bytes diverge from logical bytes when a codec is active; the
+  // ledger must balance in both currencies independently.
+  auditor.OnChunkSent(3, 4 * kMiB, 2 * kMiB);
+  auditor.OnChunkSent(3, 4 * kMiB, 4 * kMiB);
+  auditor.OnChunkSent(3, 2 * kMiB, kMiB);
+  auditor.OnChunkApplied(3, 4 * kMiB, 2 * kMiB);
+  auditor.OnChunkDiscarded(3, 4 * kMiB, 4 * kMiB);  // Duplicate after a NACK.
+  auditor.OnChunkDropped(3, 2 * kMiB, kMiB);  // Eaten by a partition.
   const uint64_t before = auditor.checks_passed();
   auditor.CheckChunkConservation(3);
   EXPECT_GT(auditor.checks_passed(), before);
@@ -102,8 +104,8 @@ TEST(InvariantAuditorTest, StragglerEventsWithoutLedgerAreIgnored) {
   // after the supervisor closed the ledger; they must not crash or
   // pollute the next attempt.
   InvariantAuditor auditor;
-  auditor.OnChunkApplied(9, kMiB);
-  auditor.OnChunkDropped(9, kMiB);
+  auditor.OnChunkApplied(9, kMiB, kMiB);
+  auditor.OnChunkDropped(9, kMiB, kMiB);
   auditor.CheckChunkConservation(9);
   EXPECT_EQ(auditor.ledger(9), nullptr);
   auditor.BeginMigration(9);

@@ -129,6 +129,94 @@ TEST(MessageTest, TruncatedFramesRejected) {
   }
 }
 
+// ------------------------------------------------------ Codec extension
+
+Message CodecMessage(codec::Codec codec) {
+  Message m = FullMessage();
+  m.frame.codec = codec;
+  m.frame.logical_bytes = 4096;
+  m.frame.encoded_bytes = 1024;
+  m.frame.payload_crc = 0xabad1dea;
+  m.frame.payload_redundancy = 0.5;
+  if (codec == codec::Codec::kDelta) {
+    m.frame.base_crc = 0x1234abcd;
+    m.removed_keys = {7, 9, 11};
+  }
+  return m;
+}
+
+TEST(MessageTest, CodecFrameRoundTrip) {
+  for (const codec::Codec codec : {codec::Codec::kLz, codec::Codec::kDelta}) {
+    const Message m = CodecMessage(codec);
+    Message out;
+    ASSERT_TRUE(DecodeMessage(EncodeMessage(m), &out).ok());
+    EXPECT_EQ(out, m);
+    EXPECT_EQ(out.wire_payload_bytes(), m.frame.encoded_bytes);
+  }
+}
+
+TEST(MessageTest, RawFramesCarryNoCodecExtension) {
+  // A default (raw) message must encode byte-identically to the
+  // pre-codec format; the golden traces depend on it.
+  const Message raw = FullMessage();
+  const Message lz = CodecMessage(codec::Codec::kLz);
+  EXPECT_LT(EncodeMessage(raw).size(), EncodeMessage(lz).size());
+  Message out;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(raw), &out).ok());
+  EXPECT_EQ(out.frame.codec, codec::Codec::kRaw);
+  EXPECT_EQ(out.wire_payload_bytes(), raw.payload_bytes);
+}
+
+TEST(MessageTest, RandomizedCodecRoundTripProperty) {
+  // Property test: random seeded payloads round-trip exactly; any
+  // truncation is rejected; any single-byte corruption is rejected by
+  // the frame CRC.
+  Rng rng(0xc0dec);
+  for (int trial = 0; trial < 200; ++trial) {
+    Message m;
+    m.type = MessageType::kSnapshotChunk;
+    m.tenant_id = rng.NextBelow(1000);
+    m.chunk_seq = rng.NextBelow(10000);
+    m.payload_bytes = rng.NextBelow(1u << 22);
+    m.chunk_crc = static_cast<uint32_t>(rng.Next());
+    const uint64_t row_count = rng.NextBelow(40);
+    for (uint64_t i = 0; i < row_count; ++i) {
+      m.rows.push_back(storage::Record{rng.Next(), rng.Next(), rng.Next()});
+    }
+    const uint64_t pick = rng.NextBelow(3);
+    if (pick != 0) {
+      m.frame.codec =
+          pick == 1 ? codec::Codec::kLz : codec::Codec::kDelta;
+      m.frame.logical_bytes = m.payload_bytes;
+      m.frame.encoded_bytes = rng.NextBelow(m.payload_bytes + 1);
+      m.frame.payload_crc = static_cast<uint32_t>(rng.Next());
+      m.frame.payload_redundancy = rng.NextDouble();
+      if (m.frame.codec == codec::Codec::kDelta) {
+        m.frame.base_crc = static_cast<uint32_t>(rng.Next());
+        const uint64_t removed = rng.NextBelow(8);
+        for (uint64_t i = 0; i < removed; ++i) {
+          m.removed_keys.push_back(rng.Next());
+        }
+      }
+    }
+    const std::vector<uint8_t> frame = EncodeMessage(m);
+    Message out;
+    ASSERT_TRUE(DecodeMessage(frame, &out).ok()) << trial;
+    EXPECT_EQ(out, m) << trial;
+
+    std::vector<uint8_t> cut(frame.begin(),
+                             frame.begin() + rng.NextBelow(frame.size()));
+    Message cut_out;
+    EXPECT_FALSE(DecodeMessage(cut, &cut_out).ok()) << trial;
+
+    std::vector<uint8_t> flipped = frame;
+    flipped[rng.NextBelow(flipped.size())] ^=
+        static_cast<uint8_t>(1u << rng.NextBelow(8));
+    Message flipped_out;
+    EXPECT_FALSE(DecodeMessage(flipped, &flipped_out).ok()) << trial;
+  }
+}
+
 // ---------------------------------------------------------------- Channel
 
 TEST(ChannelTest, DeliversDecodedMessage) {

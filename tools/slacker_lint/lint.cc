@@ -156,6 +156,15 @@ const std::regex& RawRandRe() {
   return re;
 }
 
+/// Byte-level reinterpretation of wire data: reinterpret_cast or raw
+/// memcpy decoding. Outside src/codec + src/net (the frame layer) and
+/// src/common (ByteReader/ByteWriter internals), wire bytes must go
+/// through the checksummed codec/net decoders.
+const std::regex& WireDecodeRe() {
+  static const std::regex re(R"(\breinterpret_cast\s*<|\bmemcpy\s*\()");
+  return re;
+}
+
 const std::regex& FloatEqRe() {
   static const std::regex re(
       R"([=!]=\s*[0-9]+\.[0-9]*(e-?[0-9]+)?f?\b|[0-9]+\.[0-9]*(e-?[0-9]+)?f?\s*[=!]=)");
@@ -275,6 +284,9 @@ void Linter::LintFile(const FileEntry& file,
                       std::vector<Finding>* out) const {
   const bool in_random_module = PathContains(file.path, "src/common/random");
   const bool in_obs = PathContains(file.path, "src/obs");
+  const bool in_byte_layer = PathContains(file.path, "src/codec") ||
+                             PathContains(file.path, "src/net") ||
+                             PathContains(file.path, "src/common");
 
   // Names of std::unordered_* members/locals declared in this file, for
   // the src/obs iteration rule.
@@ -315,6 +327,13 @@ void Linter::LintFile(const FileEntry& file,
       emit(static_cast<int>(i), "slacker-raw-rand",
            "unseeded randomness; draw from an explicitly seeded "
            "slacker::Rng (src/common/random.h) instead");
+    }
+
+    if (!in_byte_layer && std::regex_search(line, WireDecodeRe())) {
+      emit(static_cast<int>(i), "slacker-wire-decode",
+           "raw byte reinterpretation outside the frame layer; decode "
+           "wire data through src/codec / src/net (CRC-checked) "
+           "instead");
     }
 
     if (line.find("EXPECT_") == std::string::npos &&

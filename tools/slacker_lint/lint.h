@@ -38,6 +38,11 @@ struct Finding {
 ///                           in statement position — the error is
 ///                           silently dropped (mirrors [[nodiscard]] for
 ///                           builds that swallow the warning).
+///   slacker-wire-decode     reinterpret_cast or raw memcpy outside
+///                           src/codec, src/net and src/common — wire
+///                           bytes must be decoded through the
+///                           CRC-checked frame layer, not reinterpreted
+///                           in place.
 ///
 /// Suppression: a line containing `// NOLINT` suppresses every rule on
 /// that line; `// NOLINT(rule-a, rule-b)` suppresses only those rules.

@@ -38,6 +38,7 @@ TEST(SlackerLintTest, ViolationsFixtureProducesExactFindings) {
       {22, "slacker-float-eq"},       {23, "slacker-float-eq"},
       {31, "slacker-unordered-iter"}, {33, "slacker-unordered-iter"},
       {37, "slacker-dropped-status"}, {38, "slacker-dropped-status"},
+      {46, "slacker-wire-decode"},    {47, "slacker-wire-decode"},
   };
   ASSERT_EQ(findings.size(), expected.size())
       << FindingsToText(findings);
@@ -77,6 +78,26 @@ TEST(SlackerLintTest, UnorderedIterationOnlyFlaggedUnderObs) {
   Linter engine;
   engine.AddFile("src/engine/cache.cc", code);
   EXPECT_TRUE(engine.Run().empty());
+}
+
+TEST(SlackerLintTest, WireDecodeOnlyFlaggedOutsideFrameLayer) {
+  const std::string code =
+      "void F(const unsigned char* b, char* d) {\n"
+      "  memcpy(d, b, 4);\n"
+      "  auto* h = reinterpret_cast<const int*>(b);\n"
+      "}\n";
+  for (const char* exempt : {"src/codec/frame.cc", "src/net/message.cc",
+                             "src/common/bytes.cc"}) {
+    Linter linter;
+    linter.AddFile(exempt, code);
+    EXPECT_TRUE(linter.Run().empty()) << exempt;
+  }
+  Linter outside;
+  outside.AddFile("src/slacker/migration.cc", code);
+  const auto findings = outside.Run();
+  ASSERT_EQ(findings.size(), 2u) << FindingsToText(findings);
+  EXPECT_EQ(findings[0].rule, "slacker-wire-decode");
+  EXPECT_EQ(findings[1].rule, "slacker-wire-decode");
 }
 
 TEST(SlackerLintTest, AmbiguousNamesAreNotFlagged) {
