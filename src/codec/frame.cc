@@ -5,7 +5,7 @@
 namespace slacker::codec {
 namespace {
 
-constexpr uint8_t kFrameMagic = 0xC5;
+constexpr uint8_t kFrameMagic = kCodecFrameMagic;
 constexpr uint8_t kFrameVersion = 1;
 
 void EncodeBody(const FrameHeader& frame, ByteWriter* writer) {

@@ -11,6 +11,11 @@
 
 namespace slacker::codec {
 
+/// First byte of the encoded frame extension. Message decoders peek it
+/// to dispatch among trailing extensions (the negotiation extension
+/// uses 0xC6).
+inline constexpr uint8_t kCodecFrameMagic = 0xC5;
+
 /// Self-describing, checksummed header for one encoded snapshot/delta
 /// chunk. Wraps the chunk-level metadata the target needs to decode,
 /// verify, and account the chunk: which codec produced it, its logical

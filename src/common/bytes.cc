@@ -88,6 +88,12 @@ Status ByteReader::GetString(std::string* out) {
   return Status::Ok();
 }
 
+Status ByteReader::PeekU8(uint8_t* out) const {
+  if (remaining() < 1) return Status::Corruption("truncated u8");
+  *out = data_[pos_];
+  return Status::Ok();
+}
+
 Status ByteReader::GetBytes(uint8_t* out, size_t len) {
   if (remaining() < len) return Status::Corruption("truncated bytes");
   // `out` may legitimately be null for a zero-length read (e.g. an

@@ -47,6 +47,11 @@ class ByteReader {
   Status GetString(std::string* out);
   Status GetBytes(uint8_t* out, size_t len);
 
+  /// Reads the next byte without consuming it. Lets a decoder dispatch
+  /// on an extension magic byte before handing the reader to the
+  /// extension's own DecodeFrom.
+  Status PeekU8(uint8_t* out) const;
+
   size_t remaining() const { return len_ - pos_; }
   size_t position() const { return pos_; }
   bool exhausted() const { return pos_ == len_; }

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kTargetOverloaded:
       return "TargetOverloaded";
+    case StatusCode::kTooLateToCancel:
+      return "TooLateToCancel";
   }
   return "Unknown";
 }

@@ -25,6 +25,11 @@ enum class StatusCode {
   /// violating its SLA; retryable after backing off (graceful
   /// degradation instead of grinding at the throttle floor).
   kTargetOverloaded,
+  /// A cancel request lost the race to handover: ownership has already
+  /// (or is about to be) transferred, so the target stays
+  /// authoritative. Not an error in the migration itself — the caller
+  /// must simply stop treating the source as the home of the tenant.
+  kTooLateToCancel,
 };
 
 /// Returns a stable human-readable name for `code` ("Ok", "NotFound", ...).
@@ -71,6 +76,9 @@ class [[nodiscard]] Status {
   }
   static Status TargetOverloaded(std::string msg) {
     return Status(StatusCode::kTargetOverloaded, std::move(msg));
+  }
+  static Status TooLateToCancel(std::string msg) {
+    return Status(StatusCode::kTooLateToCancel, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -35,15 +35,19 @@ std::vector<uint8_t> EncodeMessage(const Message& message) {
   for (const wal::LogRecord& r : message.log_records) {
     r.EncodeTo(&writer);
   }
-  // Codec extension: only non-raw frames append it, so every message
-  // the raw pipeline produces is byte-identical to the pre-codec
-  // format (golden trace digests depend on wire sizes).
+  // Extensions: only non-default values append one, so every message
+  // the legacy raw pipeline produces is byte-identical to the
+  // pre-codec format (golden trace digests depend on wire sizes).
+  // Decoders dispatch on the leading magic byte of each extension.
   if (message.frame.codec != codec::Codec::kRaw) {
     message.frame.EncodeTo(&writer);
     writer.PutVarint64(message.removed_keys.size());
     for (uint64_t key : message.removed_keys) {
       writer.PutVarint64(key);
     }
+  }
+  if (message.negotiation.software_version != 0) {
+    message.negotiation.EncodeTo(&writer);
   }
   return EncodeFrame(writer.Release());
 }
@@ -97,23 +101,43 @@ Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out) {
   }
   out->frame = codec::FrameHeader();
   out->removed_keys.clear();
-  if (!reader.exhausted()) {
-    SLACKER_RETURN_IF_ERROR(out->frame.DecodeFrom(&reader));
-    if (out->frame.codec == codec::Codec::kRaw) {
-      // A raw frame is never encoded; its presence means corruption.
-      return Status::Corruption("unexpected raw codec extension");
+  out->negotiation = NegotiationInfo();
+  bool saw_codec_ext = false;
+  bool saw_negotiation_ext = false;
+  while (!reader.exhausted()) {
+    uint8_t magic;
+    SLACKER_RETURN_IF_ERROR(reader.PeekU8(&magic));
+    if (magic == codec::kCodecFrameMagic) {
+      if (saw_codec_ext) {
+        return Status::Corruption("duplicate codec extension");
+      }
+      saw_codec_ext = true;
+      SLACKER_RETURN_IF_ERROR(out->frame.DecodeFrom(&reader));
+      if (out->frame.codec == codec::Codec::kRaw) {
+        // A raw frame is never encoded; its presence means corruption.
+        return Status::Corruption("unexpected raw codec extension");
+      }
+      uint64_t removed_count;
+      SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&removed_count));
+      out->removed_keys.reserve(removed_count);
+      for (uint64_t i = 0; i < removed_count; ++i) {
+        uint64_t key;
+        SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&key));
+        out->removed_keys.push_back(key);
+      }
+    } else if (magic == kNegotiationMagic) {
+      if (saw_negotiation_ext) {
+        return Status::Corruption("duplicate negotiation extension");
+      }
+      saw_negotiation_ext = true;
+      SLACKER_RETURN_IF_ERROR(out->negotiation.DecodeFrom(&reader));
+      if (out->negotiation.software_version == 0) {
+        // Version 0 is never encoded; its presence means corruption.
+        return Status::Corruption("unexpected legacy negotiation extension");
+      }
+    } else {
+      return Status::Corruption("trailing bytes in message");
     }
-    uint64_t removed_count;
-    SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&removed_count));
-    out->removed_keys.reserve(removed_count);
-    for (uint64_t i = 0; i < removed_count; ++i) {
-      uint64_t key;
-      SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&key));
-      out->removed_keys.push_back(key);
-    }
-  }
-  if (!reader.exhausted()) {
-    return Status::Corruption("trailing bytes in message");
   }
   return Status::Ok();
 }

@@ -7,6 +7,7 @@
 
 #include "src/codec/frame.h"
 #include "src/common/status.h"
+#include "src/net/negotiation.h"
 #include "src/wal/log_record.h"
 
 namespace slacker::net {
@@ -87,6 +88,11 @@ struct Message {
   /// kSnapshotChunk with frame.codec == kDelta only: keys present in
   /// the delta base but absent from the re-read chunk.
   std::vector<uint64_t> removed_keys;
+  /// Control handshake (kMigrateRequest, kMigrateAccept,
+  /// kSnapshotResume): the sender's software version and feature mask.
+  /// A default (version 0) negotiation encodes to nothing, keeping the
+  /// legacy wire bytes identical.
+  NegotiationInfo negotiation;
 
   bool operator==(const Message& other) const = default;
 

@@ -1,0 +1,77 @@
+#include "src/net/negotiation.h"
+
+#include "src/common/checksum.h"
+
+namespace slacker::net {
+
+uint64_t FeatureMaskForVersion(uint32_t version) {
+  if (version <= 1) return 0;
+  if (version == 2) return kFeatureLz;
+  return kFeatureLz | kFeatureDelta;
+}
+
+codec::CodecMode NegotiatedCodecMode(codec::CodecMode requested,
+                                     uint32_t source_version,
+                                     uint64_t source_mask,
+                                     uint32_t target_version,
+                                     uint64_t target_mask) {
+  if (source_version == 0 || target_version == 0) return requested;
+  const uint64_t common = source_mask & target_mask;
+  const bool lz = (common & kFeatureLz) != 0;
+  const bool delta = (common & kFeatureDelta) != 0;
+  switch (requested) {
+    case codec::CodecMode::kRaw:
+      return codec::CodecMode::kRaw;
+    case codec::CodecMode::kLz:
+      return lz ? codec::CodecMode::kLz : codec::CodecMode::kRaw;
+    case codec::CodecMode::kDelta:
+      return delta ? codec::CodecMode::kDelta : codec::CodecMode::kRaw;
+    case codec::CodecMode::kAdaptive:
+      if (lz && delta) return codec::CodecMode::kAdaptive;
+      if (lz) return codec::CodecMode::kLz;
+      if (delta) return codec::CodecMode::kDelta;
+      return codec::CodecMode::kRaw;
+  }
+  return codec::CodecMode::kRaw;
+}
+
+void NegotiationInfo::EncodeTo(ByteWriter* writer) const {
+  ByteWriter body;
+  body.PutU8(kNegotiationMagic);
+  body.PutVarint64(software_version);
+  body.PutVarint64(feature_mask);
+  const uint32_t crc = Crc32c(body.data());
+  writer->PutBytes(body.data().data(), body.size());
+  writer->PutFixed32(crc);
+}
+
+Status NegotiationInfo::DecodeFrom(ByteReader* reader) {
+  uint8_t magic;
+  SLACKER_RETURN_IF_ERROR(reader->GetU8(&magic));
+  if (magic != kNegotiationMagic) {
+    return Status::Corruption("bad negotiation extension magic");
+  }
+  uint64_t version64;
+  SLACKER_RETURN_IF_ERROR(reader->GetVarint64(&version64));
+  if (version64 > UINT32_MAX) {
+    return Status::Corruption("negotiation version out of range");
+  }
+  uint64_t mask;
+  SLACKER_RETURN_IF_ERROR(reader->GetVarint64(&mask));
+  uint32_t crc;
+  SLACKER_RETURN_IF_ERROR(reader->GetFixed32(&crc));
+  // Re-encode the body to verify the checksum covers exactly what we
+  // parsed (same technique as codec::FrameHeader::DecodeFrom).
+  ByteWriter body;
+  body.PutU8(kNegotiationMagic);
+  body.PutVarint64(version64);
+  body.PutVarint64(mask);
+  if (Crc32c(body.data()) != crc) {
+    return Status::Corruption("negotiation extension checksum mismatch");
+  }
+  software_version = static_cast<uint32_t>(version64);
+  feature_mask = mask;
+  return Status::Ok();
+}
+
+}  // namespace slacker::net

@@ -157,6 +157,54 @@ void EmitRebalanceDecision(Tracer* tracer, const RebalanceDecision& e) {
   tracer->RecordEvent(std::move(event));
 }
 
+void EmitServerDrain(Tracer* tracer, const ServerDrain& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, UpgradeTrack(),
+                            e.draining ? "drain_start" : "drain_end",
+                            "upgrade");
+  event.args.emplace_back("server", static_cast<double>(e.server_id));
+  event.args.emplace_back("tenants_remaining",
+                          static_cast<double>(e.tenants_remaining));
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitServerVersionChange(Tracer* tracer, const ServerVersionChange& e) {
+  if (Off(tracer)) return;
+  Event event =
+      MakeInstant(tracer, UpgradeTrack(), "version_change", "upgrade");
+  event.args.emplace_back("server", static_cast<double>(e.server_id));
+  event.args.emplace_back("from", static_cast<double>(e.from_version));
+  event.args.emplace_back("to", static_cast<double>(e.to_version));
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitCodecNegotiated(Tracer* tracer, const CodecNegotiated& e) {
+  if (Off(tracer)) return;
+  Event event = MakeInstant(tracer, MigrationTrack(e.tenant_id),
+                            "codec_negotiated", "upgrade");
+  event.args.emplace_back("source_version",
+                          static_cast<double>(e.source_version));
+  event.args.emplace_back("target_version",
+                          static_cast<double>(e.target_version));
+  event.notes.emplace_back("requested", e.requested);
+  event.notes.emplace_back("negotiated", e.negotiated);
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitUpgradeWaveEvent(Tracer* tracer, const UpgradeWaveEvent& e) {
+  if (Off(tracer)) return;
+  Event event =
+      MakeInstant(tracer, UpgradeTrack(), "upgrade:" + e.action, "upgrade");
+  event.args.emplace_back("wave", static_cast<double>(e.wave));
+  event.args.emplace_back("servers", static_cast<double>(e.servers_in_wave));
+  event.args.emplace_back("violation_seconds", e.violation_seconds);
+  event.args.emplace_back("failed_migrations",
+                          static_cast<double>(e.failed_migrations));
+  event.notes.emplace_back("action", e.action);
+  if (!e.detail.empty()) event.notes.emplace_back("detail", e.detail);
+  tracer->RecordEvent(std::move(event));
+}
+
 void EmitRebalanceTick(Tracer* tracer, const RebalanceTick& e) {
   if (Off(tracer)) return;
   Event event =

@@ -20,6 +20,7 @@ std::string ServerTrack(uint64_t server_id);
 inline const char* FaultTrack() { return "faults"; }
 inline const char* SlaTrack() { return "sla"; }
 inline const char* RebalancerTrack() { return "rebalancer"; }
+inline const char* UpgradeTrack() { return "upgrade"; }
 
 /// A migration moved between phases (negotiate → snapshot → ...).
 struct PhaseTransition {
@@ -127,6 +128,48 @@ struct RebalanceDecision {
   std::string reason;
 };
 void EmitRebalanceDecision(Tracer* tracer, const RebalanceDecision& e);
+
+/// A server entered or left drain mode (maintenance evacuation).
+struct ServerDrain {
+  uint64_t server_id = 0;
+  bool draining = false;
+  /// Tenants still hosted when the state flipped.
+  uint64_t tenants_remaining = 0;
+};
+void EmitServerDrain(Tracer* tracer, const ServerDrain& e);
+
+/// A server's software version changed (patch or rollback).
+struct ServerVersionChange {
+  uint64_t server_id = 0;
+  uint32_t from_version = 0;
+  uint32_t to_version = 0;
+};
+void EmitServerVersionChange(Tracer* tracer, const ServerVersionChange& e);
+
+/// A mixed-version migration pair resolved its codec capability set.
+struct CodecNegotiated {
+  uint64_t tenant_id = 0;
+  uint32_t source_version = 0;
+  uint32_t target_version = 0;
+  /// Requested vs. negotiated CodecMode names ("raw", "lz", ...).
+  std::string requested;
+  std::string negotiated;
+};
+void EmitCodecNegotiated(Tracer* tracer, const CodecNegotiated& e);
+
+/// A rolling-upgrade wave changed state (drain/patch/observe/...), or
+/// the whole run finished. `action` is one of "wave_drain",
+/// "wave_patch", "wave_observe", "wave_done", "gate_trip", "rollback",
+/// "upgrade_done", "upgrade_aborted".
+struct UpgradeWaveEvent {
+  int wave = 0;
+  std::string action;
+  int servers_in_wave = 0;
+  double violation_seconds = 0.0;
+  uint64_t failed_migrations = 0;
+  std::string detail;
+};
+void EmitUpgradeWaveEvent(Tracer* tracer, const UpgradeWaveEvent& e);
 
 /// One rebalancer control-loop tick's summary.
 struct RebalanceTick {

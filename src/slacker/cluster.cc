@@ -30,7 +30,8 @@ Server::Server(sim::Simulator* sim, uint64_t id, const ClusterOptions& options,
                        : nullptr),
       tenants_(sim, &disk_, &cpu_, shared_pool_.get()),
       monitor_(options.monitor_window),
-      controller_(std::make_unique<MigrationController>(ctx, id)) {
+      controller_(std::make_unique<MigrationController>(ctx, id)),
+      software_version_(options.software_version) {
   controller_->set_incoming_options(options.incoming_migration);
 }
 
@@ -117,9 +118,14 @@ Result<engine::TenantDb*> Cluster::AddTenant(
     uint64_t server_id, const engine::TenantConfig& config, bool load) {
   Server* host = server(server_id);
   if (host == nullptr) return Status::NotFound("no such server");
+  if (host->draining()) {
+    return Status::FailedPrecondition("server " + std::to_string(server_id) +
+                                      " is draining");
+  }
   Result<engine::TenantDb*> db =
       host->tenants()->CreateTenant(config, load, /*frozen=*/false);
   if (!db.ok()) return db;
+  auditor_.OnTenantPlaced(server_id, config.tenant_id, host->draining());
   AttachTenantObs(*db);
   SLACKER_RETURN_IF_ERROR(directory_.Register(config.tenant_id, server_id));
   return db;
@@ -145,6 +151,9 @@ Status Cluster::StartMigration(uint64_t tenant_id, uint64_t target_server,
   }
   if (!server(target_server)->up()) {
     return Status::Unavailable("target server is down");
+  }
+  if (server(target_server)->draining()) {
+    return Status::FailedPrecondition("target server is draining");
   }
   return server(*host)->controller()->StartMigration(tenant_id, target_server,
                                                      options, std::move(done));
@@ -208,9 +217,20 @@ Result<engine::TenantDb*> Cluster::CreateTenantOn(
     bool frozen) {
   Server* host = server(server_id);
   if (host == nullptr) return Status::NotFound("no such server");
+  if (host->draining()) {
+    // Migration staging counts as gaining a tenant: an incoming
+    // migration targeting a draining server is refused here, which the
+    // TargetSession turns into a clean kMigrateAbort back to the
+    // source (the supervisor then retries elsewhere).
+    return Status::FailedPrecondition("server " + std::to_string(server_id) +
+                                      " is draining");
+  }
   Result<engine::TenantDb*> db =
       host->tenants()->CreateTenant(config, load, frozen);
-  if (db.ok()) AttachTenantObs(*db);
+  if (db.ok()) {
+    auditor_.OnTenantPlaced(server_id, config.tenant_id, host->draining());
+    AttachTenantObs(*db);
+  }
   return db;
 }
 
@@ -355,6 +375,60 @@ bool Cluster::ServerUp(uint64_t server_id) const {
   return server_id < servers_.size() && servers_[server_id]->up();
 }
 
+Status Cluster::SetDraining(uint64_t server_id, bool draining) {
+  Server* host = server(server_id);
+  if (host == nullptr) return Status::NotFound("no such server");
+  if (host->draining() == draining) return Status::Ok();
+  host->set_draining(draining);
+  SLACKER_LOG_INFO << "server " << server_id
+                   << (draining ? " draining" : " undrained");
+  if (tracer_ != nullptr) {
+    obs::ServerDrain drain;
+    drain.server_id = server_id;
+    drain.draining = draining;
+    drain.tenants_remaining = host->tenants()->tenant_count();
+    obs::EmitServerDrain(tracer_, drain);
+  }
+  return Status::Ok();
+}
+
+bool Cluster::ServerDraining(uint64_t server_id) const {
+  return server_id < servers_.size() && servers_[server_id]->draining();
+}
+
+std::vector<uint64_t> Cluster::DrainingServerIds() const {
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i]->up() && servers_[i]->draining()) ids.push_back(i);
+  }
+  return ids;
+}
+
+uint32_t Cluster::ServerVersion(uint64_t server_id) const {
+  return server_id < servers_.size()
+             ? servers_[server_id]->software_version()
+             : 0;
+}
+
+Status Cluster::SetServerVersion(uint64_t server_id, uint32_t version) {
+  Server* host = server(server_id);
+  if (host == nullptr) return Status::NotFound("no such server");
+  const uint32_t from = host->software_version();
+  if (from == version) return Status::Ok();
+  auditor_.OnServerVersionChange(server_id, from, version);
+  host->set_software_version(version);
+  SLACKER_LOG_INFO << "server " << server_id << " patched: version " << from
+                   << " -> " << version;
+  if (tracer_ != nullptr) {
+    obs::ServerVersionChange change;
+    change.server_id = server_id;
+    change.from_version = from;
+    change.to_version = version;
+    obs::EmitServerVersionChange(tracer_, change);
+  }
+  return Status::Ok();
+}
+
 void Cluster::SetPartitioned(uint64_t a, uint64_t b, bool partitioned) {
   const auto key = std::make_pair(std::min(a, b), std::max(a, b));
   if (partitioned) {
@@ -462,6 +536,10 @@ DurableStore* Cluster::DurableStoreOn(uint64_t server_id) {
 resource::CpuModel* Cluster::CpuOn(uint64_t server_id) {
   Server* host = server(server_id);
   return host == nullptr ? nullptr : host->cpu();
+}
+
+uint32_t Cluster::SoftwareVersionOn(uint64_t server_id) {
+  return ServerVersion(server_id);
 }
 
 }  // namespace slacker

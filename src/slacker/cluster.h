@@ -47,6 +47,13 @@ struct ClusterOptions {
   MultitenancyModel multitenancy = MultitenancyModel::kProcessLevel;
   /// kSharedProcess: each server's single pool size (16 KiB pages).
   uint64_t shared_buffer_bytes = 512 * kMiB;
+
+  /// Initial software version of every server. 0 means "legacy":
+  /// migration pairs skip capability negotiation entirely and the wire
+  /// format is byte-identical to the pre-versioning protocol (golden
+  /// digests depend on this default). See net/negotiation.h for the
+  /// version → feature-set table.
+  uint32_t software_version = 0;
 };
 
 /// One physical machine: shared disk and CPU, the tenants living on it,
@@ -70,6 +77,16 @@ class Server {
   /// durably staged migration chunks (the simulated disk contents).
   DurableStore* durable() { return &durable_; }
   bool up() const { return up_; }
+  /// Drain mode: the server keeps serving its tenants but must not
+  /// gain any (stored on the TenantManager; survives crash/reboot so
+  /// an operator's drain decision is not lost to a mid-drain crash).
+  bool draining() const { return tenants_.draining(); }
+  void set_draining(bool draining) { tenants_.set_draining(draining); }
+  /// The software version this server runs. Changing it models a
+  /// binary patch; only the upgrade machinery (via
+  /// Cluster::SetServerVersion) should write it.
+  uint32_t software_version() const { return software_version_; }
+  void set_software_version(uint32_t v) { software_version_ = v; }
   /// Kills the control plane — the migration controller and every
   /// job/session it owns die with the process. The caller must already
   /// have failed and deleted the tenants (Cluster::CrashServer does).
@@ -89,6 +106,7 @@ class Server {
   std::unique_ptr<MigrationController> controller_;
   DurableStore durable_;
   bool up_ = true;
+  uint32_t software_version_ = 0;
 };
 
 /// The whole testbed in one object (the Figure 4 / Figure 10 setup):
@@ -147,9 +165,27 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   /// before the tenant unfreezes and serves again.
   void RestartServer(uint64_t server_id, SimTime delay);
   bool ServerUp(uint64_t server_id) const;
+
+  // --- Maintenance & rolling upgrades (DESIGN.md §12) --------------
+  /// Flips `server_id` into (or out of) drain mode. A draining server
+  /// rejects new tenant placements — both AddTenant and incoming
+  /// migration staging — and the rebalancer evacuates it inside the
+  /// latency guard band. Emits a drain obs event.
+  Status SetDraining(uint64_t server_id, bool draining);
+  bool ServerDraining(uint64_t server_id) const;
+  /// Up servers currently in drain mode.
+  std::vector<uint64_t> DrainingServerIds() const;
+  /// The server's software version (0 for unknown servers).
+  uint32_t ServerVersion(uint64_t server_id) const;
+  /// Models patching the server binary (allowed while the server is
+  /// down — the orchestrator patches between crash and restart). Runs
+  /// the auditor's version-monotonicity check and emits an obs event.
+  Status SetServerVersion(uint64_t server_id, uint32_t version);
   /// Cuts (or heals) the link between two servers; messages between
   /// them are silently dropped while partitioned.
   void SetPartitioned(uint64_t a, uint64_t b, bool partitioned);
+  /// True while the a<->b link is cut (order-insensitive).
+  bool IsPartitioned(uint64_t a, uint64_t b) const;
   /// Quiesce-free durability point: snapshots `tenant_id`'s table into
   /// its host's durable store and charges the checkpoint write. Call
   /// when the tenant is idle or frozen (the image is not fuzzy-safe).
@@ -189,13 +225,13 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   control::LatencyMonitor* MonitorOn(uint64_t server_id) override;
   DurableStore* DurableStoreOn(uint64_t server_id) override;
   resource::CpuModel* CpuOn(uint64_t server_id) override;
+  uint32_t SoftwareVersionOn(uint64_t server_id) override;
   obs::Tracer* tracer() override { return tracer_; }
   /// Always on: every Cluster audits its migrations (DESIGN.md §9).
   InvariantAuditor* auditor() override { return &auditor_; }
 
  private:
   void RecoverServer(uint64_t server_id);
-  bool IsPartitioned(uint64_t a, uint64_t b) const;
   /// Hooks a tenant instance into the installed tracer's registry.
   void AttachTenantObs(engine::TenantDb* db);
 

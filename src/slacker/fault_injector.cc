@@ -67,6 +67,51 @@ FaultPlan& FaultPlan::PartitionAt(uint64_t a, uint64_t b, SimTime at_time,
   return Add(heal);
 }
 
+FaultPlan& FaultPlan::PartitionEvery(uint64_t a, uint64_t b, SimTime first_at,
+                                     SimTime every, SimTime hold, int count) {
+  FaultSpec cut;
+  cut.kind = FaultKind::kPartition;
+  cut.server_id = a;
+  cut.peer = b;
+  cut.at_time = first_at;
+  cut.repeat_every = every;
+  cut.repeat_count = count;
+  Add(cut);
+  FaultSpec heal;
+  heal.kind = FaultKind::kHeal;
+  heal.server_id = a;
+  heal.peer = b;
+  heal.at_time = first_at + hold;
+  heal.repeat_every = every;
+  heal.repeat_count = count;
+  return Add(heal);
+}
+
+FaultPlan& FaultPlan::CrashEvery(uint64_t server_id, SimTime first_at,
+                                 SimTime every, SimTime down_for, int count) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.server_id = server_id;
+  spec.at_time = first_at;
+  spec.restart_after = down_for;
+  spec.repeat_every = every;
+  spec.repeat_count = count;
+  return Add(spec);
+}
+
+FaultPlan& FaultPlan::CrashOnDrainEvacuation(uint64_t server_id,
+                                             SimTime restart_after,
+                                             SimTime delay) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.server_id = server_id;
+  spec.has_drain_trigger = true;
+  spec.watch_server = server_id;
+  spec.phase_delay = delay;
+  spec.restart_after = restart_after;
+  return Add(spec);
+}
+
 FaultPlan FaultPlan::RandomCrashes(int count, int num_servers,
                                    SimTime horizon, SimTime min_down,
                                    SimTime max_down, uint64_t seed) {
@@ -95,16 +140,53 @@ void FaultInjector::Arm() {
     const FaultSpec& spec = plan_.specs()[i];
     if (spec.has_phase_trigger) {
       WatchPhase(i);
+    } else if (spec.has_drain_trigger) {
+      WatchDrain(i);
     } else if (spec.at_time >= 0.0) {
-      const SimTime delay = std::max(spec.at_time - sim_->Now(), 0.0);
-      sim_->After(delay, [this, i, alive = std::weak_ptr<bool>(alive_)] {
-        if (alive.expired()) return;
-        Fire(plan_.specs()[i]);
-      });
+      ScheduleTimed(i, spec.at_time, std::max(spec.repeat_count, 1));
     } else {
       Fire(spec);
     }
   }
+}
+
+void FaultInjector::ScheduleTimed(size_t index, SimTime fire_time,
+                                  int firings_left) {
+  const SimTime delay = std::max(fire_time - sim_->Now(), 0.0);
+  sim_->After(delay, [this, index, fire_time, firings_left,
+                      alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    const FaultSpec& spec = plan_.specs()[index];
+    Fire(spec);
+    if (firings_left > 1 && spec.repeat_every > 0.0) {
+      ScheduleTimed(index, fire_time + spec.repeat_every, firings_left - 1);
+    }
+  });
+}
+
+void FaultInjector::WatchDrain(size_t index) {
+  sim_->After(kPhasePollInterval,
+              [this, index, alive = std::weak_ptr<bool>(alive_)] {
+    if (alive.expired()) return;
+    const FaultSpec& spec = plan_.specs()[index];
+    Server* server = cluster_->server(spec.watch_server);
+    // Evacuation underway: the server is in drain mode and has at least
+    // one outgoing migration job.
+    if (server->up() && server->draining() &&
+        server->controller()->active_jobs() > 0) {
+      if (spec.phase_delay > 0.0) {
+        sim_->After(spec.phase_delay,
+                    [this, index, alive2 = std::weak_ptr<bool>(alive_)] {
+                      if (alive2.expired()) return;
+                      Fire(plan_.specs()[index]);
+                    });
+      } else {
+        Fire(spec);
+      }
+      return;
+    }
+    WatchDrain(index);
+  });
 }
 
 void FaultInjector::WatchPhase(size_t index) {

@@ -26,9 +26,10 @@ enum class FaultKind {
 };
 
 /// One scheduled fault. Triggered either at an absolute simulation time
-/// (at_time >= 0) or when a watched tenant's migration reaches a phase
-/// (has_phase_trigger) — the injector polls the active job and fires
-/// `phase_delay` seconds after the phase is first observed.
+/// (at_time >= 0), when a watched tenant's migration reaches a phase
+/// (has_phase_trigger), or when a watched server begins evacuating in
+/// drain mode (has_drain_trigger) — the injector polls and fires
+/// `phase_delay` seconds after the condition is first observed.
 struct FaultSpec {
   FaultKind kind = FaultKind::kCrash;
   uint64_t server_id = 0;
@@ -41,9 +42,21 @@ struct FaultSpec {
   bool has_phase_trigger = false;
   uint64_t watch_tenant = 0;
   MigrationPhase at_phase = MigrationPhase::kSnapshot;
-  /// Extra delay between observing the phase and firing (e.g. "2 s into
-  /// the snapshot").
+  /// Extra delay between observing the phase (or drain evacuation) and
+  /// firing (e.g. "2 s into the snapshot").
   SimTime phase_delay = 0.0;
+
+  /// Drain trigger: fires once `watch_server` is draining AND has at
+  /// least one outgoing migration job — i.e. mid-evacuation during an
+  /// upgrade wave (DESIGN.md §12).
+  bool has_drain_trigger = false;
+  uint64_t watch_server = 0;
+
+  /// Time-triggered specs only: re-fire every `repeat_every` seconds
+  /// until `repeat_count` total firings ("partition for N ms every
+  /// M ms"). repeat_every <= 0 or repeat_count <= 1 means fire once.
+  SimTime repeat_every = 0.0;
+  int repeat_count = 1;
 
   /// kCrash: schedule recovery this long after the crash (0 = stay
   /// down until an explicit kRestart spec).
@@ -64,6 +77,22 @@ class FaultPlan {
   FaultPlan& RestartAt(uint64_t server_id, SimTime at_time);
   FaultPlan& PartitionAt(uint64_t a, uint64_t b, SimTime at_time,
                          SimTime heal_after);
+  /// Periodic partition: cut a<->b at `first_at`, heal `hold` seconds
+  /// later, and repeat the pair every `every` seconds for `count`
+  /// cycles ("partition for N ms every M ms").
+  FaultPlan& PartitionEvery(uint64_t a, uint64_t b, SimTime first_at,
+                            SimTime every, SimTime hold, int count);
+  /// Periodic crash/recover cycle on one server: first crash at
+  /// `first_at`, back up `down_for` later, repeated every `every`
+  /// seconds for `count` cycles.
+  FaultPlan& CrashEvery(uint64_t server_id, SimTime first_at, SimTime every,
+                        SimTime down_for, int count);
+  /// Crash `server_id` once it is draining and actively evacuating
+  /// (plus `delay`), restarting after `restart_after` — the canary-
+  /// crash chaos scenario for rolling upgrades.
+  FaultPlan& CrashOnDrainEvacuation(uint64_t server_id,
+                                    SimTime restart_after = 0.0,
+                                    SimTime delay = 0.0);
 
   /// `count` crash/restart pairs at Uniform times in [0, horizon), each
   /// down for Uniform [min_down, max_down) seconds, on servers drawn
@@ -100,6 +129,10 @@ class FaultInjector {
  private:
   void Fire(const FaultSpec& spec);
   void WatchPhase(size_t index);
+  void WatchDrain(size_t index);
+  /// Schedules firing `index` at `fire_time`, then re-arms it
+  /// repeat_every later while firings remain.
+  void ScheduleTimed(size_t index, SimTime fire_time, int firings_left);
 
   Cluster* cluster_;
   sim::Simulator* sim_;

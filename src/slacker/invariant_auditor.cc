@@ -164,6 +164,35 @@ void InvariantAuditor::CheckChunkConservation(uint64_t tenant_id) {
   ++checks_passed_;
 }
 
+void InvariantAuditor::OnTenantPlaced(uint64_t server_id, uint64_t tenant_id,
+                                      bool draining) {
+  SLACKER_CHECK(!draining, "tenant " + std::to_string(tenant_id) +
+                               " placed on draining server " +
+                               std::to_string(server_id));
+  ++checks_passed_;
+}
+
+void InvariantAuditor::OnServerVersionChange(uint64_t server_id,
+                                             uint32_t from_version,
+                                             uint32_t to_version) {
+  if (to_version == from_version) return;  // Idempotent re-set.
+  auto it = versions_.find(server_id);
+  const bool upgrade = to_version > from_version;
+  // A downgrade is only legal as a rollback: the wave machinery
+  // restoring the exact version this server ran before its last
+  // change. Anything else is a torn wave.
+  const bool rollback =
+      it != versions_.end() && to_version == it->second.first;
+  SLACKER_CHECK(upgrade || rollback,
+                "server " + std::to_string(server_id) +
+                    ": version change " + std::to_string(from_version) +
+                    " -> " + std::to_string(to_version) +
+                    " is neither an upgrade nor a rollback to the "
+                    "previous version");
+  versions_[server_id] = {from_version, to_version};
+  ++checks_passed_;
+}
+
 void InvariantAuditor::EndMigration(uint64_t tenant_id) {
   auto it = ledgers_.find(tenant_id);
   if (it != ledgers_.end()) it->second.active = false;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 
 #include "src/common/invariant.h"
 #include "src/common/units.h"
@@ -87,6 +88,19 @@ class InvariantAuditor {
   /// Closes the tenant's ledger (success or failure).
   void EndMigration(uint64_t tenant_id);
 
+  // --- Maintenance & rolling upgrades (DESIGN.md §12) --------------
+  /// Fatal when a tenant lands on a draining server — drain mode must
+  /// reject every placement path (new tenants and migration staging
+  /// alike). Called after the placement decision with the host's
+  /// drain flag.
+  void OnTenantPlaced(uint64_t server_id, uint64_t tenant_id, bool draining);
+  /// Fatal unless the version move is monotone within the upgrade
+  /// machinery's vocabulary: either an upgrade (to > from) or an exact
+  /// rollback to the server's previous version. Repeated sets to the
+  /// current version are no-ops and allowed.
+  void OnServerVersionChange(uint64_t server_id, uint32_t from_version,
+                             uint32_t to_version);
+
   /// The tenant's ledger, or nullptr when none is open (tests and
   /// diagnostics; the auditor's own checks use CheckChunkConservation).
   const ChunkLedger* ledger(uint64_t tenant_id) const;
@@ -99,6 +113,9 @@ class InvariantAuditor {
   ChunkLedger* ActiveLedger(uint64_t tenant_id);
 
   std::map<uint64_t, ChunkLedger> ledgers_;
+  /// Per-server (previous, current) software versions observed through
+  /// OnServerVersionChange; absent until the first change.
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> versions_;
   SimTime last_time_ = 0.0;
   bool have_time_ = false;
   uint64_t checks_passed_ = 0;

@@ -169,6 +169,16 @@ Status MigrationJob::Start() {
   request.target_server = target_server_;
   request.config = WireConfigFrom(source_db_->config());
   request.resume = options_.allow_resume;
+  // Versioned sources advertise their capabilities; the target echoes
+  // its own in the accept and the pair downgrades to the common
+  // feature set (OnAccepted). Version-0 sources skip the extension so
+  // the legacy wire stays byte-identical.
+  const uint32_t source_version = ctx_->SoftwareVersionOn(source_server_);
+  if (source_version != 0) {
+    request.negotiation.software_version = source_version;
+    request.negotiation.feature_mask =
+        net::FeatureMaskForVersion(source_version);
+  }
   ctx_->SendMessage(source_server_, target_server_, request);
   if (auditor_ != nullptr) auditor_->BeginMigration(tenant_id_);
   if (options_.timeout_seconds > 0.0) {
@@ -222,8 +232,14 @@ Status MigrationJob::Cancel(const std::string& reason) {
     return Status::FailedPrecondition("migration already finished");
   }
   if (phase_ == MigrationPhase::kHandover) {
-    return Status::FailedPrecondition(
-        "handover in progress; too late to cancel");
+    // The cancel lost the race to handover: the freeze window is
+    // already sub-second and the authority switch may have been
+    // decided. Let the handover finish — the target ends up
+    // authoritative. The distinct code lets callers (upgrade
+    // orchestrator, operators) tell "too late, migration will land"
+    // from an actual precondition failure.
+    return Status::TooLateToCancel(
+        "handover in progress; target will become authoritative");
   }
   net::Message abort;
   abort.type = net::MessageType::kMigrateAbort;
@@ -419,6 +435,7 @@ void MigrationJob::HandleMessage(const net::Message& message) {
 }
 
 void MigrationJob::OnAccepted(bool resume_offer, const net::Message& message) {
+  NegotiateCapabilities(message);
   if (resume_offer && options_.allow_resume &&
       options_.mode == MigrationMode::kLive &&
       source_db_->binlog()->first_lsn() <= message.lsn + 1) {
@@ -445,6 +462,42 @@ void MigrationJob::OnAccepted(bool resume_offer, const net::Message& message) {
     });
   } else {
     BeginSnapshot();
+  }
+}
+
+void MigrationJob::NegotiateCapabilities(const net::Message& message) {
+  const uint32_t source_version = ctx_->SoftwareVersionOn(source_server_);
+  const uint32_t target_version = message.negotiation.software_version;
+  // Legacy on either side (version 0): no handshake, requested mode
+  // stands — exactly the pre-versioning behavior.
+  if (source_version == 0 || target_version == 0) return;
+  const codec::CodecMode requested = options_.codec.mode;
+  const codec::CodecMode negotiated = net::NegotiatedCodecMode(
+      requested, source_version, net::FeatureMaskForVersion(source_version),
+      target_version, message.negotiation.feature_mask);
+  if (tracer_ != nullptr) {
+    obs::CodecNegotiated event;
+    event.tenant_id = tenant_id_;
+    event.source_version = source_version;
+    event.target_version = target_version;
+    event.requested = codec::CodecModeName(requested);
+    event.negotiated = codec::CodecModeName(negotiated);
+    obs::EmitCodecNegotiated(tracer_, event);
+  }
+  if (negotiated == requested) return;
+  SLACKER_LOG_INFO << "migration of tenant " << tenant_id_
+                   << " downgraded codec " << codec::CodecModeName(requested)
+                   << " -> " << codec::CodecModeName(negotiated)
+                   << " (source v" << source_version << ", target v"
+                   << target_version << ")";
+  options_.codec.mode = negotiated;
+  // The selector was built for the requested mode in Start(); rebuild
+  // it for the common feature set (or drop it entirely on a raw
+  // fallback, which reverts to the byte-identical raw pump).
+  if (negotiated == codec::CodecMode::kRaw) {
+    selector_.reset();
+  } else {
+    selector_ = std::make_unique<codec::CodecSelector>(options_.codec);
   }
 }
 
@@ -1154,6 +1207,14 @@ void TargetSession::ReplyToRequest() {
     accept.payload_bytes = staged->bytes_staged;
   } else {
     accept.type = net::MessageType::kMigrateAccept;
+  }
+  // Echo our capabilities so the source can downgrade to the common
+  // feature set; legacy (v0) targets skip the extension.
+  const uint32_t self_version = ctx_->SoftwareVersionOn(self_server_);
+  if (self_version != 0) {
+    accept.negotiation.software_version = self_version;
+    accept.negotiation.feature_mask =
+        net::FeatureMaskForVersion(self_version);
   }
   ctx_->SendMessage(self_server_, source_server_, accept);
 }

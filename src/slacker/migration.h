@@ -71,6 +71,10 @@ class MigrationContext {
   virtual resource::CpuModel* CpuOn(uint64_t /*server_id*/) {
     return nullptr;
   }
+  /// Software version of `server_id`; 0 means "legacy, capability
+  /// negotiation disabled" (net/negotiation.h) — the default so mock
+  /// contexts and pre-versioning setups keep the legacy wire format.
+  virtual uint32_t SoftwareVersionOn(uint64_t /*server_id*/) { return 0; }
 };
 
 /// One try of a supervised migration (MigrationSupervisor fills these).
@@ -193,6 +197,10 @@ class MigrationJob {
   /// Target accepted; `message` is kMigrateAccept (fresh) or
   /// kSnapshotResume (continue from the target's staged chunks).
   void OnAccepted(bool resume_offer, const net::Message& message);
+  /// Resolves the codec capability set with the target's advertised
+  /// version/mask (net/negotiation.h); mixed-version pairs downgrade
+  /// deterministically, never fail. No-op for legacy (v0) pairs.
+  void NegotiateCapabilities(const net::Message& message);
   void BeginSnapshot();
   void PumpSnapshot();
   /// Codec-enabled snapshot pump (options_.codec.mode != kRaw): picks a

@@ -78,8 +78,22 @@ bool MigrationSupervisor::IsTransient(const Status& status) {
   }
 }
 
+void MigrationSupervisor::Quench(const std::string& reason) {
+  if (finished_ || quenched_) return;
+  quenched_ = true;
+  if (attempt_inflight_) {
+    // The attempt's done callback resolves it; OnAttemptDone sees
+    // quenched_ and finishes instead of retrying. kTooLateToCancel /
+    // kNotFound mean the attempt is resolving on its own — fine.
+    (void)cluster_->CancelMigration(tenant_id_, reason);
+  } else {
+    // Waiting out a backoff: no further attempt may launch.
+    FinishWith(Status::Aborted("supervisor quenched: " + reason));
+  }
+}
+
 void MigrationSupervisor::LaunchAttempt() {
-  if (finished_) return;
+  if (finished_ || quenched_) return;
   // The previous attempt may have died after the directory switched (a
   // crash can eat the commit echo): if the tenant already lives on the
   // target, the migration has converged — re-migrating would fail with
@@ -185,6 +199,10 @@ void MigrationSupervisor::OnAttemptDone(uint64_t generation,
     report_.downtime_ms = job_report.downtime_ms;
     report_.digest_match = job_report.digest_match;
     FinishWith(Status::Ok());
+    return;
+  }
+  if (quenched_) {
+    FinishWith(job_report.status);
     return;
   }
   if (job_report.status.code() == StatusCode::kCorruption) {

@@ -58,6 +58,14 @@ class MigrationSupervisor {
   /// Validates options and launches the first attempt.
   Status Start();
 
+  /// Stops supervising: cancels the in-flight attempt (if any) and
+  /// suppresses further retries, so the supervisor resolves with the
+  /// attempt's failure instead of relaunching. If the attempt is
+  /// already past the point of no return (kTooLateToCancel) the
+  /// handover lands and the supervisor reports success. Used by the
+  /// upgrade orchestrator's abort path to call off drain evacuations.
+  void Quench(const std::string& reason);
+
   bool finished() const { return finished_; }
   int attempts_made() const { return attempts_made_; }
   const MigrationReport& report() const { return report_; }
@@ -102,6 +110,7 @@ class MigrationSupervisor {
   /// Set after a kCorruption failure: the staged chunks are suspect, so
   /// the next attempt streams from scratch.
   bool disable_resume_ = false;
+  bool quenched_ = false;
   bool finished_ = false;
 
   MigrationReport report_;

@@ -29,6 +29,9 @@ int PlacementAdvisor::PickTarget(const std::vector<ServerLoadStat>& servers,
   double best_util = 1e9;
   for (size_t i = 0; i < servers.size(); ++i) {
     if (servers[i].server_id == exclude_server) continue;
+    // A draining server must not gain tenants (the Cluster placement
+    // paths would refuse anyway; don't plan doomed moves).
+    if (servers[i].draining) continue;
     const double after = projected[i] + demand;
     if (after > options_.overload_threshold - options_.target_headroom) {
       continue;
@@ -48,6 +51,8 @@ int PlacementAdvisor::PickConsolidationTarget(
   double best_util = -1.0;
   for (size_t i = 0; i < servers.size(); ++i) {
     if (servers[i].server_id == exclude_server) continue;
+    // A draining server is never a consolidation target either.
+    if (servers[i].draining) continue;
     // A fellow consolidation candidate is never a target: it is about
     // to be emptied itself, and refilling it defeats the shutdown.
     if (servers[i].utilization <= options_.consolidation_threshold) continue;
@@ -130,6 +135,8 @@ std::vector<MigrationPlan> PlacementAdvisor::PlanConsolidation(
 
   for (size_t oi : order) {
     const ServerLoadStat& server = servers[oi];
+    // Draining servers are PlanDrain's business, not consolidation's.
+    if (server.draining) continue;
     if (server.utilization > options_.consolidation_threshold) continue;
     if (server.tenants.empty()) continue;
     // Try to place every tenant elsewhere; all-or-nothing (a server
@@ -162,6 +169,47 @@ std::vector<MigrationPlan> PlacementAdvisor::PlanConsolidation(
   return plans;
 }
 
+std::vector<MigrationPlan> PlacementAdvisor::PlanDrain(
+    const std::vector<ServerLoadStat>& servers) const {
+  std::vector<MigrationPlan> plans;
+  std::vector<double> projected;
+  projected.reserve(servers.size());
+  for (const auto& s : servers) projected.push_back(s.utilization);
+
+  for (size_t si = 0; si < servers.size(); ++si) {
+    const ServerLoadStat& server = servers[si];
+    if (!server.draining || server.tenants.empty()) continue;
+    // Smallest data first: quick evacuations free the admission budget
+    // sooner and shrink the wave's tail.
+    std::vector<const TenantLoadStat*> order;
+    order.reserve(server.tenants.size());
+    for (const TenantLoadStat& t : server.tenants) order.push_back(&t);
+    std::sort(order.begin(), order.end(),
+              [](const TenantLoadStat* a, const TenantLoadStat* b) {
+                return a->data_bytes != b->data_bytes
+                           ? a->data_bytes < b->data_bytes
+                           : a->tenant_id < b->tenant_id;
+              });
+    for (const TenantLoadStat* t : order) {
+      const int target =
+          PickTarget(servers, server.server_id, t->demand, projected);
+      if (target < 0) continue;  // No headroom anywhere; retry next tick.
+      MigrationPlan plan;
+      plan.tenant_id = t->tenant_id;
+      plan.source_server = server.server_id;
+      plan.target_server = servers[target].server_id;
+      plan.rationale = "drain: evacuate tenant " +
+                       std::to_string(t->tenant_id) + " from server " +
+                       std::to_string(server.server_id) + " to server " +
+                       std::to_string(servers[target].server_id);
+      projected[si] -= t->demand;
+      projected[target] += t->demand;
+      plans.push_back(plan);
+    }
+  }
+  return plans;
+}
+
 std::vector<ServerLoadStat> CollectClusterStats(
     Cluster* cluster,
     std::vector<std::pair<uint64_t, uint64_t>>* ops_baseline) {
@@ -185,6 +233,7 @@ std::vector<ServerLoadStat> CollectClusterStats(
     ServerLoadStat stat;
     stat.server_id = sid;
     stat.utilization = server->disk()->Utilization();
+    stat.draining = server->draining();
 
     // Apportion the server's utilization across tenants by the number
     // of operations each executed since the last sample.

@@ -23,6 +23,9 @@ struct ServerLoadStat {
   uint64_t server_id = 0;
   /// Total disk utilization (0..1).
   double utilization = 0.0;
+  /// Drain mode (DESIGN.md §12): never a migration target; its tenants
+  /// are evacuation candidates via PlanDrain.
+  bool draining = false;
   std::vector<TenantLoadStat> tenants;
 };
 
@@ -66,6 +69,14 @@ class PlacementAdvisor {
   /// Consolidation plans: empty out near-idle servers into the busiest
   /// server that still has headroom.
   std::vector<MigrationPlan> PlanConsolidation(
+      const std::vector<ServerLoadStat>& servers) const;
+
+  /// Drain-evacuation plans: every tenant on a draining server, moved
+  /// to non-draining targets worst-fit (like relief, spreading the
+  /// evacuation thin), smallest data footprint first so evacuations
+  /// land quickly. Unlike consolidation this is not all-or-nothing —
+  /// whatever fits moves now, the rest is re-planned next tick.
+  std::vector<MigrationPlan> PlanDrain(
       const std::vector<ServerLoadStat>& servers) const;
 
   const PlacementOptions& options() const { return options_; }

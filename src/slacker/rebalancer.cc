@@ -85,7 +85,7 @@ int Rebalancer::InflightInto(uint64_t server_id) const {
   return n;
 }
 
-bool Rebalancer::Admit(const MigrationPlan& plan, bool consolidation,
+bool Rebalancer::Admit(const MigrationPlan& plan, bool non_urgent,
                        SimTime now, std::string* reason) {
   if (TenantBusy(plan.tenant_id)) {
     ++stats_.skipped_busy;
@@ -125,7 +125,9 @@ bool Rebalancer::Admit(const MigrationPlan& plan, bool consolidation,
     *reason = "guard-band";
     return false;
   }
-  if (consolidation) {
+  if (non_urgent) {
+    // Consolidation and drain evacuations are elective: admit them only
+    // while *both* ends have latency slack to spare.
     control::LatencyMonitor* source_monitor =
         cluster_->server(plan.source_server)->monitor();
     if (source_monitor->WithinGuardBand(now, setpoint,
@@ -139,11 +141,23 @@ bool Rebalancer::Admit(const MigrationPlan& plan, bool consolidation,
   return true;
 }
 
-void Rebalancer::Launch(const MigrationPlan& plan, bool consolidation) {
+int Rebalancer::QuenchDrainEvacuations(const std::string& reason) {
+  int quenched = 0;
+  for (auto& m : inflight_) {
+    if (!m.drain) continue;
+    m.supervisor->Quench(reason);
+    ++quenched;
+  }
+  return quenched;
+}
+
+void Rebalancer::Launch(const MigrationPlan& plan, const char* kind,
+                        bool drain) {
   InflightMigration entry;
   entry.tenant_id = plan.tenant_id;
   entry.source_server = plan.source_server;
   entry.target_server = plan.target_server;
+  entry.drain = drain;
   entry.supervisor = std::make_unique<MigrationSupervisor>(
       cluster_, plan.tenant_id, plan.target_server, options_.migration,
       options_.supervisor,
@@ -159,9 +173,7 @@ void Rebalancer::Launch(const MigrationPlan& plan, bool consolidation) {
     ++stats_.migrations_failed;
     return;
   }
-  SLACKER_LOG_INFO << "rebalancer " << (consolidation ? "consolidation"
-                                                      : "relief")
-                   << ": " << plan.rationale;
+  SLACKER_LOG_INFO << "rebalancer " << kind << ": " << plan.rationale;
   ++stats_.plans_admitted;
   inflight_.push_back(std::move(entry));
   stats_.max_inflight_observed =
@@ -214,31 +226,56 @@ void Rebalancer::Tick(SimTime now) {
   }
   stats_.last_overloaded = overloaded;
 
-  bool consolidation = false;
-  std::vector<MigrationPlan> plans = advisor_.PlanRelief(fleet);
-  if (plans.empty() && overloaded == 0 && inflight_.empty() &&
-      options_.consolidate) {
-    plans = advisor_.PlanConsolidation(fleet);
-    consolidation = true;
+  bool any_draining = false;
+  for (const auto& s : fleet) {
+    if (s.draining) any_draining = true;
+  }
+
+  // Relief is urgent and always planned; drain evacuations run
+  // alongside it (the admission budget arbitrates); consolidation only
+  // when the fleet is calm and nothing is draining — refilling servers
+  // mid-upgrade would fight the wave machinery.
+  struct KindedPlan {
+    MigrationPlan plan;
+    const char* kind;
+    bool non_urgent;
+    bool drain;
+  };
+  std::vector<KindedPlan> plans;
+  for (MigrationPlan& p : advisor_.PlanRelief(fleet)) {
+    plans.push_back({std::move(p), "relief", false, false});
+  }
+  if (any_draining) {
+    for (MigrationPlan& p : advisor_.PlanDrain(fleet)) {
+      plans.push_back({std::move(p), "drain", true, true});
+    }
+  }
+  if (plans.empty() && !any_draining && overloaded == 0 &&
+      inflight_.empty() && options_.consolidate) {
+    for (MigrationPlan& p : advisor_.PlanConsolidation(fleet)) {
+      plans.push_back({std::move(p), "consolidation", true, false});
+    }
   }
   stats_.plans_considered += plans.size();
 
   obs::Tracer* tracer = cluster_->tracer();
   int admitted = 0;
   int deferred = 0;
-  for (const MigrationPlan& plan : plans) {
+  for (const KindedPlan& kp : plans) {
+    const MigrationPlan& plan = kp.plan;
     std::string reason;
-    const bool go = Admit(plan, consolidation, now, &reason);
+    const bool go = Admit(plan, kp.non_urgent, now, &reason);
     obs::RebalanceDecision decision;
     decision.tenant_id = plan.tenant_id;
     decision.source_server = plan.source_server;
     decision.target_server = plan.target_server;
     decision.admitted = go;
-    decision.kind = consolidation ? "consolidation" : "relief";
+    decision.kind = kp.kind;
     decision.reason = reason;
     obs::EmitRebalanceDecision(tracer, decision);
     if (go) {
-      Launch(plan, consolidation);
+      Launch(plan, kp.kind, kp.drain);
+      if (kp.drain) ++stats_.drain_admitted;
       ++admitted;
     } else {
       ++deferred;

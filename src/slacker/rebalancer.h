@@ -47,8 +47,8 @@ struct RebalancerOptions {
   /// within this fraction of the PID setpoint (see
   /// control::LatencyMonitor::WithinGuardBand). Relief plans guard the
   /// *target* only — the source is overloaded by definition, and the
-  /// per-migration PID throttle already protects it; consolidation
-  /// plans are optional work and guard both ends.
+  /// per-migration PID throttle already protects it; consolidation and
+  /// drain-evacuation plans are non-urgent work and guard both ends.
   double guard_band_fraction = 0.2;
 
   /// Also plan consolidation (emptying near-idle servers) when the
@@ -68,6 +68,9 @@ struct RebalancerStats {
   uint64_t skipped_busy = 0;
   uint64_t migrations_ok = 0;
   uint64_t migrations_failed = 0;
+  /// Drain evacuations admitted (subset of plans_admitted); the upgrade
+  /// orchestrator watches this to tell progress from a stuck wave.
+  uint64_t drain_admitted = 0;
   /// Overloaded (util > overload_threshold) up-servers at the last tick.
   int last_overloaded = 0;
   /// High-water mark of concurrent supervised migrations — tests
@@ -78,8 +81,9 @@ struct RebalancerStats {
 /// The closed loop that turns Slacker's mechanisms into an autonomic
 /// system (§1.2's when/which/where, §6's multi-migration outlook): on a
 /// configurable period it samples CollectClusterStats over the live
-/// fleet, asks PlacementAdvisor for relief (and, when calm,
-/// consolidation) plans, and executes admitted plans through retrying
+/// fleet, asks PlacementAdvisor for relief (always), drain-evacuation
+/// (when servers are draining, DESIGN.md §12), and consolidation (when
+/// calm) plans, and executes admitted plans through retrying
 /// MigrationSupervisors. An admission controller rations the
 /// migration-slack budget — per-source, per-target, and fleet-wide
 /// concurrency caps plus a latency guard band that defers plans while
@@ -110,20 +114,32 @@ class Rebalancer {
   size_t inflight() const { return inflight_.size(); }
   const RebalancerStats& stats() const { return stats_; }
 
+  /// Cancels every in-flight *drain* evacuation and stops its
+  /// supervisor from retrying (relief/consolidation migrations are left
+  /// alone). The upgrade orchestrator's abort path calls this before
+  /// rolling back. Returns the number of evacuations quenched.
+  int QuenchDrainEvacuations(const std::string& reason);
+
  private:
   struct InflightMigration {
     uint64_t tenant_id = 0;
     uint64_t source_server = 0;
     uint64_t target_server = 0;
+    /// Launched as a drain evacuation (QuenchDrainEvacuations' scope).
+    bool drain = false;
     std::unique_ptr<MigrationSupervisor> supervisor;
   };
 
   void Tick(SimTime now);
   /// Admission controller: true to launch now; false defers/skips with
   /// `reason` set to the trace vocabulary of RebalanceDecision.
-  bool Admit(const MigrationPlan& plan, bool consolidation, SimTime now,
+  /// `non_urgent` plans (consolidation, drain evacuation) guard-band
+  /// both ends; relief guards the target only.
+  bool Admit(const MigrationPlan& plan, bool non_urgent, SimTime now,
              std::string* reason);
-  void Launch(const MigrationPlan& plan, bool consolidation);
+  /// `kind` is the RebalanceDecision vocabulary: "relief", "drain", or
+  /// "consolidation".
+  void Launch(const MigrationPlan& plan, const char* kind, bool drain);
   void OnMigrationDone(uint64_t tenant_id, const MigrationReport& report);
   int InflightFrom(uint64_t server_id) const;
   int InflightInto(uint64_t server_id) const;

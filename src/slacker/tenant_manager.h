@@ -49,7 +49,17 @@ class TenantManager {
   std::vector<uint64_t> TenantIds() const;
   size_t tenant_count() const { return tenants_.size(); }
 
+  /// Drain mode (DESIGN.md §12): a draining manager hosts what it has
+  /// but must not gain tenants. Enforcement lives in the Cluster
+  /// placement paths (AddTenant / CreateTenantOn); crash recovery of
+  /// tenants this server already owns is deliberately exempt — a
+  /// crashed draining server must reinstantiate its tenants to
+  /// evacuate them.
+  void set_draining(bool draining) { draining_ = draining; }
+  bool draining() const { return draining_; }
+
  private:
+  bool draining_ = false;
   sim::Simulator* sim_;
   resource::DiskModel* disk_;
   resource::CpuModel* cpu_;

@@ -138,8 +138,10 @@ TEST(CancelTest, TooLateDuringHandover) {
     MigrationJob* job = rig.cluster.ActiveJob(1);
     if (job != nullptr && job->phase() == MigrationPhase::kHandover) {
       saw_handover = true;
+      // The cancel lost the race to handover: a distinct status, not a
+      // generic failure, and the migration still lands.
       EXPECT_EQ(rig.cluster.CancelMigration(1).code(),
-                StatusCode::kFailedPrecondition);
+                StatusCode::kTooLateToCancel);
       break;
     }
   }
@@ -147,6 +149,76 @@ TEST(CancelTest, TooLateDuringHandover) {
   rig.sim.RunUntil(rig.sim.Now() + 60.0);
   ASSERT_TRUE(rig.done);
   EXPECT_TRUE(rig.report.status.ok());
+  // Target authoritative — the late cancel must not roll it back.
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 1u);
+}
+
+// Cancels at every phase of a live migration. Before handover the
+// cancel succeeds (kAborted report, source authoritative); at handover
+// it returns kTooLateToCancel and the target ends up authoritative.
+TEST(CancelTest, CancelAtEveryPhase) {
+  const MigrationPhase kPhases[] = {
+      MigrationPhase::kNegotiate, MigrationPhase::kSnapshot,
+      MigrationPhase::kPrepare, MigrationPhase::kDelta,
+      MigrationPhase::kHandover};
+  for (const MigrationPhase phase : kPhases) {
+    SCOPED_TRACE(MigrationPhaseName(phase));
+    Rig rig;
+    ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+    // Live writes keep the dirty set non-empty so the delta phase has
+    // real duration (an idle tenant's delta round is sub-millisecond).
+    workload::YcsbConfig ycsb;
+    ycsb.record_count = 64 * 1024;
+    ycsb.mean_interarrival = 0.005;
+    workload::YcsbWorkload workload(ycsb, 1, 9);
+    workload::ClientPool pool(&rig.sim, &workload, &rig.cluster,
+                              rig.cluster.MakeLatencyObserver());
+    rig.cluster.AttachClientPool(1, &pool);
+    pool.Start();
+    MigrationOptions options = SlowFixed();
+    options.fixed_rate_mbps = 16.0;  // ~4 s copy: every phase is visible.
+    options.prepare.base_seconds = 0.5;
+    // Ship every pending byte as a delta round instead of folding a
+    // small dirty set into the handover, so kDelta is observable.
+    options.delta_handover_bytes = 0;
+    ASSERT_TRUE(rig.cluster.StartMigration(1, 1, options, rig.Done()).ok());
+    bool cancelled = false;
+    bool too_late = false;
+    while (!rig.done && rig.sim.Now() < 120.0) {
+      MigrationJob* job = rig.cluster.ActiveJob(1);
+      if (job != nullptr && job->phase() == phase) {
+        const Status status = rig.cluster.CancelMigration(1, "phase sweep");
+        if (phase == MigrationPhase::kHandover) {
+          EXPECT_EQ(status.code(), StatusCode::kTooLateToCancel);
+          too_late = true;
+        } else {
+          EXPECT_TRUE(status.ok()) << status.ToString();
+          cancelled = true;
+        }
+        break;
+      }
+      // Step finely: the handover window is a few milliseconds.
+      rig.sim.RunUntil(rig.sim.Now() + 0.001);
+    }
+    rig.sim.RunUntil(rig.sim.Now() + 60.0);
+    pool.Stop();
+    ASSERT_TRUE(rig.done);
+    if (phase == MigrationPhase::kHandover) {
+      ASSERT_TRUE(too_late);
+      // The migration completed; the target is authoritative.
+      EXPECT_TRUE(rig.report.status.ok()) << rig.report.status.ToString();
+      EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 1u);
+      EXPECT_NE(rig.cluster.TenantOn(1, 1), nullptr);
+    } else {
+      ASSERT_TRUE(cancelled);
+      EXPECT_EQ(rig.report.status.code(), StatusCode::kAborted);
+      // Source authoritative, serviceable, staging discarded.
+      EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 0u);
+      ASSERT_NE(rig.cluster.TenantOn(0, 1), nullptr);
+      EXPECT_FALSE(rig.cluster.TenantOn(0, 1)->frozen());
+      EXPECT_EQ(rig.cluster.TenantOn(1, 1), nullptr);
+    }
+  }
 }
 
 TEST(CancelTest, WatchdogAbortsSlowMigration) {

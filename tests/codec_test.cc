@@ -509,5 +509,77 @@ TEST(CodecMigrationTest, RawAndAdaptiveConvergeToSameAuthority) {
   }
 }
 
+TEST(CodecMigrationTest, MixedVersionPairDowngradesToCommonCodec) {
+  // An adaptive-mode migration between a v3 source (LZ + delta) and a
+  // v1 target (raw only) must negotiate down to raw on the wire and
+  // still converge; the same pair at v3/v3 keeps the compressor. The
+  // downgrade never fails the migration (DESIGN.md §12).
+  struct Case {
+    uint32_t source_version;
+    uint32_t target_version;
+    bool expect_compressed;
+  } kCases[] = {{3, 1, false}, {1, 3, false}, {3, 3, true}};
+  for (const Case& c : kCases) {
+    sim::Simulator sim;
+    ClusterOptions cluster_options;
+    cluster_options.num_servers = 2;
+    cluster_options.software_version = 1;
+    Cluster cluster(&sim, cluster_options);
+    ASSERT_TRUE(cluster.SetServerVersion(0, c.source_version).ok());
+    ASSERT_TRUE(cluster.SetServerVersion(1, c.target_version).ok());
+
+    engine::TenantConfig tenant;
+    tenant.tenant_id = 1;
+    tenant.layout.record_count = 8 * 1024;
+    tenant.buffer_pool_bytes = 2 * kMiB;
+    ASSERT_TRUE(cluster.AddTenant(0, tenant).ok());
+
+    workload::YcsbConfig ycsb;
+    ycsb.record_count = tenant.layout.record_count;
+    ycsb.mean_interarrival = 0.3;
+    workload::YcsbWorkload workload(ycsb, 1, 7);
+    workload::ClientPool pool(&sim, &workload, &cluster,
+                              cluster.MakeLatencyObserver());
+    cluster.AttachClientPool(1, &pool);
+    pool.Start();
+    sim.RunUntil(2.0);
+
+    MigrationOptions options;
+    options.throttle = ThrottleKind::kFixed;
+    options.fixed_rate_mbps = 16.0;
+    options.prepare.base_seconds = 0.5;
+    options.codec.mode = CodecMode::kAdaptive;
+    MigrationReport report;
+    bool done = false;
+    ASSERT_TRUE(cluster
+                    .StartMigration(1, 1, options,
+                                    [&](const MigrationReport& r) {
+                                      report = r;
+                                      done = true;
+                                    })
+                    .ok());
+    sim.RunUntil(120.0);
+    pool.Stop();
+    sim.RunUntil(140.0);
+
+    SCOPED_TRACE("v" + std::to_string(c.source_version) + " -> v" +
+                 std::to_string(c.target_version));
+    ASSERT_TRUE(done);
+    ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+    EXPECT_TRUE(report.digest_match);
+    EXPECT_EQ(*cluster.directory()->Lookup(1), 1u);
+    if (c.expect_compressed) {
+      EXPECT_GT(report.chunks_lz, 0u);
+      EXPECT_LT(report.snapshot_wire_bytes, report.snapshot_bytes);
+    } else {
+      // Downgraded to raw: byte-for-byte accounting, no encoded chunks.
+      EXPECT_EQ(report.chunks_lz, 0u);
+      EXPECT_EQ(report.chunks_delta, 0u);
+      EXPECT_EQ(report.snapshot_wire_bytes, report.snapshot_bytes);
+      EXPECT_EQ(report.delta_wire_bytes, report.delta_bytes);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace slacker::codec

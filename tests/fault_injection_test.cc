@@ -8,6 +8,7 @@
 #include "src/common/random.h"
 #include "src/common/units.h"
 #include "src/slacker/cluster.h"
+#include "src/slacker/fault_injector.h"
 #include "src/workload/client_pool.h"
 #include "src/workload/ycsb.h"
 
@@ -199,6 +200,93 @@ TEST(FaultInjectionTest, WorkloadUnharmedByChannelChaos) {
   EXPECT_EQ(rig.report.status.code(), StatusCode::kAborted);
   EXPECT_EQ(pool.stats().failed, 0u);
   EXPECT_GT(pool.stats().completed, 100u);
+}
+
+// ---------------------------------------------------------------------
+// Periodic trigger plans: "crash every M seconds" / "partition for N
+// seconds every M seconds" re-fire on schedule for exactly `count`
+// cycles, then stop.
+
+TEST(PeriodicFaultTest, CrashEveryCyclesServerExactlyCountTimes) {
+  Rig rig;
+  FaultPlan plan;
+  // Crash server 0 at t=1, 11, 21 (3 cycles), each outage 2 s long.
+  plan.CrashEvery(/*server_id=*/0, /*first_at=*/1.0, /*every=*/10.0,
+                  /*down_for=*/2.0, /*count=*/3);
+  FaultInjector injector(&rig.cluster, std::move(plan));
+  injector.Arm();
+
+  struct Sample {
+    SimTime at;
+    bool expect_up;
+  };
+  const Sample kSamples[] = {
+      {0.5, true},  {1.5, false}, {4.0, true},  {11.5, false},
+      {14.0, true}, {21.5, false}, {24.0, true}, {34.0, true},
+  };
+  for (const Sample& sample : kSamples) {
+    rig.sim.RunUntil(sample.at);
+    EXPECT_EQ(rig.cluster.ServerUp(0), sample.expect_up)
+        << "at t=" << sample.at;
+  }
+  // A 4th cycle must not fire.
+  rig.sim.RunUntil(60.0);
+  EXPECT_EQ(injector.faults_fired(), 3);
+  EXPECT_TRUE(rig.cluster.ServerUp(0));
+}
+
+TEST(PeriodicFaultTest, PartitionEveryCutsAndHealsOnSchedule) {
+  Rig rig;
+  FaultPlan plan;
+  // Cut 0<->1 at t=2, 12 (2 cycles), healing 3 s after each cut.
+  plan.PartitionEvery(/*a=*/0, /*b=*/1, /*first_at=*/2.0, /*every=*/10.0,
+                      /*hold=*/3.0, /*count=*/2);
+  FaultInjector injector(&rig.cluster, std::move(plan));
+  injector.Arm();
+
+  struct Sample {
+    SimTime at;
+    bool expect_cut;
+  };
+  const Sample kSamples[] = {
+      {1.0, false}, {3.0, true},  {6.0, false},
+      {13.0, true}, {16.0, false}, {26.0, false},
+  };
+  for (const Sample& sample : kSamples) {
+    rig.sim.RunUntil(sample.at);
+    EXPECT_EQ(rig.cluster.IsPartitioned(0, 1), sample.expect_cut)
+        << "at t=" << sample.at;
+  }
+  rig.sim.RunUntil(60.0);
+  // Two cuts + two heals.
+  EXPECT_EQ(injector.faults_fired(), 4);
+  EXPECT_FALSE(rig.cluster.IsPartitioned(0, 1));
+}
+
+TEST(PeriodicFaultTest, MigrationSurvivesPeriodicPartitions) {
+  Rig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  FaultPlan plan;
+  // Brief cuts every 10 s throughout the run; the watchdog aborts any
+  // stalled attempt and a later retry lands between cuts.
+  plan.PartitionEvery(0, 1, /*first_at=*/2.0, /*every=*/10.0,
+                      /*hold=*/0.5, /*count=*/5);
+  FaultInjector injector(&rig.cluster, std::move(plan));
+  injector.Arm();
+
+  MigrationOptions options = FastWithWatchdog();
+  bool landed = false;
+  for (int attempt = 0; attempt < 4 && !landed; ++attempt) {
+    rig.done = false;
+    ASSERT_TRUE(
+        rig.cluster.StartMigration(1, 1, options, rig.Done()).ok());
+    rig.sim.RunUntil(rig.sim.Now() + 60.0);
+    ASSERT_TRUE(rig.done);
+    landed = rig.report.status.ok();
+  }
+  EXPECT_TRUE(landed);
+  EXPECT_EQ(injector.faults_fired(), 10);  // 5 cuts + 5 heals.
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 1u);
 }
 
 }  // namespace

@@ -81,6 +81,24 @@ TEST(InvariantAuditorDeathTest, ByteConservationMismatchIsFatal) {
   EXPECT_DEATH(auditor.CheckChunkConservation(3), "conservation");
 }
 
+TEST(InvariantAuditorDeathTest, TenantPlacedOnDrainingServerIsFatal) {
+  InvariantAuditor auditor;
+  auditor.OnTenantPlaced(2, 41, /*draining=*/false);  // Normal placement.
+  EXPECT_DEATH(auditor.OnTenantPlaced(2, 42, /*draining=*/true),
+               "draining server");
+}
+
+TEST(InvariantAuditorDeathTest, UnmotivatedVersionDowngradeIsFatal) {
+  InvariantAuditor auditor;
+  auditor.OnServerVersionChange(5, 1, 2);  // Upgrade: legal.
+  auditor.OnServerVersionChange(5, 2, 1);  // Rollback to previous: legal.
+  auditor.OnServerVersionChange(5, 1, 3);
+  // 3 -> 2 is a downgrade that is NOT a rollback to the version the
+  // server ran before its last change (1): a torn wave.
+  EXPECT_DEATH(auditor.OnServerVersionChange(5, 3, 2),
+               "neither an upgrade nor a rollback");
+}
+
 TEST(InvariantAuditorTest, BalancedLedgerPasses) {
   InvariantAuditor auditor;
   auditor.BeginMigration(3);

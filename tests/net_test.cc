@@ -217,6 +217,110 @@ TEST(MessageTest, RandomizedCodecRoundTripProperty) {
   }
 }
 
+// ------------------------------------------- Capability negotiation
+
+TEST(NegotiationTest, MessageRoundTripCarriesVersionAndMask) {
+  Message m = FullMessage();
+  m.negotiation.software_version = 3;
+  m.negotiation.feature_mask = FeatureMaskForVersion(3);
+  Message out;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(m), &out).ok());
+  EXPECT_EQ(out.negotiation, m.negotiation);
+}
+
+TEST(NegotiationTest, LegacyMessageIsByteIdenticalToPreVersioningWire) {
+  // Version 0 ("legacy") must encode to exactly the bytes a build
+  // without negotiation produced — golden fig12 digests depend on it.
+  Message legacy = FullMessage();
+  legacy.negotiation = NegotiationInfo();
+  Message versioned = legacy;
+  versioned.negotiation.software_version = 2;
+  versioned.negotiation.feature_mask = FeatureMaskForVersion(2);
+  const auto legacy_frame = EncodeMessage(legacy);
+  const auto versioned_frame = EncodeMessage(versioned);
+  EXPECT_NE(legacy_frame, versioned_frame);
+  Message out;
+  ASSERT_TRUE(DecodeMessage(legacy_frame, &out).ok());
+  EXPECT_EQ(out.negotiation.software_version, 0u);
+}
+
+TEST(NegotiationTest, TruncatedExtensionRejected) {
+  ByteWriter writer;
+  NegotiationInfo info;
+  info.software_version = 7;
+  info.feature_mask = kFeatureLz | kFeatureDelta;
+  info.EncodeTo(&writer);
+  const std::vector<uint8_t>& bytes = writer.data();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader reader(bytes.data(), len);
+    NegotiationInfo out;
+    EXPECT_FALSE(out.DecodeFrom(&reader).ok()) << "len=" << len;
+  }
+  ByteReader whole(bytes);
+  NegotiationInfo out;
+  ASSERT_TRUE(out.DecodeFrom(&whole).ok());
+  EXPECT_EQ(out, info);
+}
+
+TEST(NegotiationTest, CorruptExtensionRejected) {
+  ByteWriter writer;
+  NegotiationInfo info;
+  info.software_version = 1234;
+  info.feature_mask = 0xf00dull;
+  info.EncodeTo(&writer);
+  // Any single-bit flip must fail the magic check or the CRC.
+  for (size_t i = 0; i < writer.data().size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = writer.data();
+      mutated[i] ^= static_cast<uint8_t>(1u << bit);
+      ByteReader reader(mutated);
+      NegotiationInfo out;
+      EXPECT_FALSE(out.DecodeFrom(&reader).ok())
+          << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(NegotiationTest, MixedVersionPairsAlwaysAgreeOnASupportedCodec) {
+  const codec::CodecMode kModes[] = {
+      codec::CodecMode::kRaw, codec::CodecMode::kLz,
+      codec::CodecMode::kDelta, codec::CodecMode::kAdaptive};
+  for (uint32_t sv = 0; sv <= 5; ++sv) {
+    for (uint32_t tv = 0; tv <= 5; ++tv) {
+      const uint64_t smask = FeatureMaskForVersion(sv);
+      const uint64_t tmask = FeatureMaskForVersion(tv);
+      for (const codec::CodecMode requested : kModes) {
+        const codec::CodecMode mode =
+            NegotiatedCodecMode(requested, sv, smask, tv, tmask);
+        if (sv == 0 || tv == 0) {
+          // Legacy handshake: the requested mode stands.
+          EXPECT_EQ(mode, requested) << sv << "/" << tv;
+          continue;
+        }
+        // Never fails, and never picks a feature either side lacks.
+        const uint64_t common = smask & tmask;
+        if (mode == codec::CodecMode::kLz ||
+            mode == codec::CodecMode::kAdaptive) {
+          EXPECT_TRUE(common & kFeatureLz) << sv << "/" << tv;
+        }
+        if (mode == codec::CodecMode::kDelta ||
+            mode == codec::CodecMode::kAdaptive) {
+          EXPECT_TRUE(common & kFeatureDelta) << sv << "/" << tv;
+        }
+        // Deterministic: same inputs, same answer.
+        EXPECT_EQ(mode, NegotiatedCodecMode(requested, sv, smask, tv, tmask));
+        // Symmetric: swapping source and target cannot change it.
+        EXPECT_EQ(mode, NegotiatedCodecMode(requested, tv, tmask, sv, smask))
+            << sv << "/" << tv;
+        // Downgrades only relative to the request.
+        if (requested == codec::CodecMode::kRaw) {
+          EXPECT_EQ(mode, codec::CodecMode::kRaw);
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------- Channel
 
 TEST(ChannelTest, DeliversDecodedMessage) {
