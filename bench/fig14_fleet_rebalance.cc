@@ -23,6 +23,7 @@
 #include "src/obs/chrome_trace.h"
 #include "src/obs/csv_export.h"
 #include "src/slacker/rebalancer.h"
+#include "src/slacker/upgrade.h"
 
 namespace slacker::bench {
 namespace {
@@ -180,6 +181,44 @@ class Fleet {
   std::vector<double> interarrival_;
 };
 
+Status WriteJson(const std::string& path, const FleetParams& params,
+                 SimTime detect_seconds, SimTime converge_seconds,
+                 double episode_violation_ss, uint64_t before,
+                 uint64_t during, uint64_t after,
+                 const RebalancerStats& stats, bool pass) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot write " + path);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"figure\": \"fig14\",\n");
+  std::fprintf(f, "  \"servers\": %d,\n  \"tenants\": %d,\n",
+               params.servers, params.tenants);
+  std::fprintf(f, "  \"sla_ms\": %.17g,\n", params.sla_ms);
+  std::fprintf(f, "  \"time_to_detect_seconds\": %.17g,\n", detect_seconds);
+  std::fprintf(f, "  \"time_to_converge_seconds\": %.17g,\n",
+               converge_seconds);
+  std::fprintf(f, "  \"episode_violation_server_seconds\": %.17g,\n",
+               episode_violation_ss);
+  std::fprintf(f, "  \"violations_before\": %llu,\n",
+               static_cast<unsigned long long>(before));
+  std::fprintf(f, "  \"violations_during\": %llu,\n",
+               static_cast<unsigned long long>(during));
+  std::fprintf(f, "  \"violations_after\": %llu,\n",
+               static_cast<unsigned long long>(after));
+  std::fprintf(f, "  \"migrations_ok\": %llu,\n",
+               static_cast<unsigned long long>(stats.migrations_ok));
+  std::fprintf(f, "  \"migrations_failed\": %llu,\n",
+               static_cast<unsigned long long>(stats.migrations_failed));
+  std::fprintf(f, "  \"deferred_budget\": %llu,\n",
+               static_cast<unsigned long long>(stats.deferred_budget));
+  std::fprintf(f, "  \"deferred_guard_band\": %llu,\n",
+               static_cast<unsigned long long>(stats.deferred_guard_band));
+  std::fprintf(f, "  \"max_inflight\": %llu,\n",
+               static_cast<unsigned long long>(stats.max_inflight_observed));
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+  return Status::Ok();
+}
+
 std::string FormatRate(uint64_t violations, SimTime seconds) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.1f / 100 s",
@@ -199,11 +238,14 @@ int main(int argc, char** argv) {
   using slacker::SimTime;
 
   FleetParams params;
+  std::string json_path = "BENCH_fig14.json";
   std::vector<char*> pass;
   pass.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       params.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--servers") == 0 && i + 1 < argc) {
       params.servers = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--fleet-tenants") == 0 && i + 1 < argc) {
@@ -261,9 +303,15 @@ int main(int argc, char** argv) {
   SimTime detect_time = -1.0;
   SimTime zero_since = -1.0;
   SimTime converged_at = -1.0;
+  double episode_violation_ss = 0.0;
   const SimTime deadline = inject_time + params.deadline_seconds;
   while (fleet.sim()->Now() < deadline) {
     fleet.sim()->RunUntil(fleet.sim()->Now() + 1.0);
+    // Fleet-level SLA damage: one server-second per server whose
+    // latency window is above the SLA right now (same accounting as
+    // the fig17 predictive-scheduling bench).
+    episode_violation_ss += static_cast<double>(slacker::CountViolatingServers(
+        fleet.cluster(), params.sla_ms, fleet.sim()->Now()));
     const int overloaded = rebalancer.stats().last_overloaded;
     if (overloaded > 0) {
       if (detect_time < 0.0) detect_time = fleet.sim()->Now();
@@ -325,5 +373,16 @@ int main(int argc, char** argv) {
                   stats.max_inflight_observed <=
                       static_cast<size_t>(rebalance.max_concurrent_total);
   PrintRow("episode resolved autonomically", "yes", ok ? "yes" : "NO");
+
+  const slacker::Status json_status = WriteJson(
+      json_path, params,
+      detect_time >= 0.0 ? detect_time - inject_time : -1.0,
+      converged_at >= 0.0 ? converged_at - inject_time : -1.0,
+      episode_violation_ss, before, during, after, stats, ok);
+  if (json_status.ok()) {
+    std::printf("  (wrote results %s)\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,71 @@
+#ifndef SLACKER_FORECAST_RING_BUFFER_H_
+#define SLACKER_FORECAST_RING_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/invariant.h"
+
+namespace slacker::forecast {
+
+/// Fixed-capacity ring of equally spaced samples (one per bucket). Once
+/// full, each push evicts the oldest sample. Index 0 is always the
+/// oldest sample still held; `total_pushed()` gives the absolute bucket
+/// index of the *next* sample, so callers can anchor ring-relative
+/// indices to absolute bucket numbers (and therefore to sim time).
+///
+/// All accumulation helpers iterate oldest -> newest in index order so
+/// results are bit-reproducible regardless of how the ring wrapped.
+class SampleRing {
+ public:
+  explicit SampleRing(size_t capacity) : buf_(capacity) {
+    SLACKER_CHECK(capacity > 0, "SampleRing capacity must be positive");
+  }
+
+  void Push(double value) {
+    buf_[head_] = value;
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+    ++total_pushed_;
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+  bool full() const { return size_ == buf_.size(); }
+  /// Samples ever pushed; also the absolute bucket index of the next
+  /// sample to be pushed.
+  uint64_t total_pushed() const { return total_pushed_; }
+  /// Absolute bucket index of ring slot 0 (the oldest held sample).
+  uint64_t first_index() const { return total_pushed_ - size_; }
+
+  /// i in [0, size): 0 is the oldest held sample.
+  double at(size_t i) const {
+    SLACKER_DCHECK(i < size_, "SampleRing index out of range");
+    const size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  /// Newest sample (requires size > 0).
+  double back() const {
+    SLACKER_CHECK(size_ > 0, "SampleRing::back on empty ring");
+    return at(size_ - 1);
+  }
+
+  /// Mean over held samples, accumulated oldest -> newest.
+  double Mean() const {
+    if (size_ == 0) return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < size_; ++i) sum += at(i);
+    return sum / static_cast<double>(size_);
+  }
+
+ private:
+  std::vector<double> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t total_pushed_ = 0;
+};
+
+}  // namespace slacker::forecast
+
+#endif  // SLACKER_FORECAST_RING_BUFFER_H_

@@ -205,6 +205,37 @@ void EmitUpgradeWaveEvent(Tracer* tracer, const UpgradeWaveEvent& e) {
   tracer->RecordEvent(std::move(event));
 }
 
+void EmitForecastUpdated(Tracer* tracer, const ForecastUpdated& e) {
+  if (Off(tracer)) return;
+  Event event =
+      MakeInstant(tracer, ForecastTrack(), "forecast_update", "forecast");
+  event.args.emplace_back("server", static_cast<double>(e.server_id));
+  event.args.emplace_back("periodic", e.periodic ? 1.0 : 0.0);
+  event.args.emplace_back("period_s", e.period_seconds);
+  event.args.emplace_back("trough_phase_s", e.trough_phase_seconds);
+  event.args.emplace_back("confidence", e.confidence);
+  event.args.emplace_back("current_load", e.current_load);
+  event.args.emplace_back("predicted_load", e.predicted_load);
+  event.args.emplace_back("mae", e.mean_abs_error);
+  event.args.emplace_back("next_trough_start", e.next_trough_start);
+  tracer->RecordEvent(std::move(event));
+}
+
+void EmitTroughScheduled(Tracer* tracer, const TroughScheduled& e) {
+  if (Off(tracer)) return;
+  Event event =
+      MakeInstant(tracer, ForecastTrack(), "trough_scheduled", "forecast");
+  event.args.emplace_back("tenant", static_cast<double>(e.tenant_id));
+  event.args.emplace_back("source", static_cast<double>(e.source_server));
+  event.args.emplace_back("target", static_cast<double>(e.target_server));
+  event.args.emplace_back("scheduled_start", e.scheduled_start);
+  event.args.emplace_back("deadline", e.deadline);
+  event.args.emplace_back("cost_now", e.cost_now);
+  event.args.emplace_back("cost_scheduled", e.cost_scheduled);
+  event.notes.emplace_back("kind", e.kind);
+  tracer->RecordEvent(std::move(event));
+}
+
 void EmitRebalanceTick(Tracer* tracer, const RebalanceTick& e) {
   if (Off(tracer)) return;
   Event event =

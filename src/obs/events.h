@@ -21,6 +21,7 @@ inline const char* FaultTrack() { return "faults"; }
 inline const char* SlaTrack() { return "sla"; }
 inline const char* RebalancerTrack() { return "rebalancer"; }
 inline const char* UpgradeTrack() { return "upgrade"; }
+inline const char* ForecastTrack() { return "forecast"; }
 
 /// A migration moved between phases (negotiate → snapshot → ...).
 struct PhaseTransition {
@@ -158,9 +159,9 @@ struct CodecNegotiated {
 void EmitCodecNegotiated(Tracer* tracer, const CodecNegotiated& e);
 
 /// A rolling-upgrade wave changed state (drain/patch/observe/...), or
-/// the whole run finished. `action` is one of "wave_drain",
-/// "wave_patch", "wave_observe", "wave_done", "gate_trip", "rollback",
-/// "upgrade_done", "upgrade_aborted".
+/// the whole run finished. `action` is one of "wave_wait_trough",
+/// "wave_drain", "wave_patch", "wave_observe", "wave_done", "gate_trip",
+/// "rollback", "upgrade_done", "upgrade_aborted".
 struct UpgradeWaveEvent {
   int wave = 0;
   std::string action;
@@ -170,6 +171,41 @@ struct UpgradeWaveEvent {
   std::string detail;
 };
 void EmitUpgradeWaveEvent(Tracer* tracer, const UpgradeWaveEvent& e);
+
+/// The forecast subsystem re-ran cycle detection for a server: the
+/// discovered period/phase, the model's current prediction, and the
+/// one-step forecast error (DESIGN.md §13).
+struct ForecastUpdated {
+  uint64_t server_id = 0;
+  bool periodic = false;
+  double period_seconds = 0.0;
+  /// Trough phase offset within the period (seconds from the sampling
+  /// epoch, mod period).
+  double trough_phase_seconds = 0.0;
+  double confidence = 0.0;
+  double current_load = 0.0;
+  double predicted_load = 0.0;
+  /// EWMA of |one-step-ahead forecast error| in load units.
+  double mean_abs_error = 0.0;
+  double next_trough_start = 0.0;
+};
+void EmitForecastUpdated(Tracer* tracer, const ForecastUpdated& e);
+
+/// The trough scheduler deferred a unit of non-urgent work into a
+/// predicted trough: when it will run, its hard deadline, and the
+/// predicted violation-seconds saved by waiting.
+struct TroughScheduled {
+  uint64_t tenant_id = 0;
+  uint64_t source_server = 0;
+  uint64_t target_server = 0;
+  /// "consolidation", "drain", "upgrade-wave".
+  std::string kind;
+  double scheduled_start = 0.0;
+  double deadline = 0.0;
+  double cost_now = 0.0;
+  double cost_scheduled = 0.0;
+};
+void EmitTroughScheduled(Tracer* tracer, const TroughScheduled& e);
 
 /// One rebalancer control-loop tick's summary.
 struct RebalanceTick {

@@ -1,12 +1,30 @@
 #include "src/slacker/rebalancer.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/forecast/trough_scheduler.h"
 #include "src/obs/events.h"
 
 namespace slacker {
+namespace {
+
+/// Data volume a plan would copy, looked up from the tick's stats (the
+/// trough scheduler prices candidate start times with it).
+uint64_t PlanDataBytes(const std::vector<ServerLoadStat>& fleet,
+                       const MigrationPlan& plan) {
+  for (const ServerLoadStat& s : fleet) {
+    if (s.server_id != plan.source_server) continue;
+    for (const TenantLoadStat& t : s.tenants) {
+      if (t.tenant_id == plan.tenant_id) return t.data_bytes;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 Status RebalancerOptions::Validate() const {
   if (period <= 0.0) {
@@ -175,6 +193,12 @@ void Rebalancer::Launch(const MigrationPlan& plan, const char* kind,
   }
   SLACKER_LOG_INFO << "rebalancer " << kind << ": " << plan.rationale;
   ++stats_.plans_admitted;
+  if (std::strcmp(kind, "relief") == 0) ++stats_.relief_admitted;
+  // The work launched: drop any pinned trough schedule so a future
+  // plan for the same tenant is re-priced fresh.
+  if (options_.trough_scheduler != nullptr) {
+    options_.trough_scheduler->Complete(plan.tenant_id);
+  }
   inflight_.push_back(std::move(entry));
   stats_.max_inflight_observed =
       std::max(stats_.max_inflight_observed, inflight_.size());
@@ -261,10 +285,39 @@ void Rebalancer::Tick(SimTime now) {
   obs::Tracer* tracer = cluster_->tracer();
   int admitted = 0;
   int deferred = 0;
+  if (options_.trough_scheduler != nullptr) {
+    options_.trough_scheduler->Prune(now);
+  }
   for (const KindedPlan& kp : plans) {
     const MigrationPlan& plan = kp.plan;
     std::string reason;
-    const bool go = Admit(plan, kp.non_urgent, now, &reason);
+    bool go = true;
+    // Non-urgent work is first offered to the trough scheduler, which
+    // may hold it for a predicted trough (under a hard deadline); a
+    // held plan never reaches the admission controller this tick.
+    // Relief bypasses scheduling entirely — it is urgent by definition.
+    if (kp.non_urgent && options_.trough_scheduler != nullptr) {
+      forecast::WorkRequest work;
+      work.key = plan.tenant_id;
+      work.tenant_id = plan.tenant_id;
+      work.source_server = plan.source_server;
+      work.target_server = plan.target_server;
+      work.data_bytes = PlanDataBytes(fleet, plan);
+      work.kind = kp.kind;
+      work.urgent = false;
+      const forecast::ScheduleDecision verdict =
+          options_.trough_scheduler->Decide(work, now);
+      if (!verdict.run_now) {
+        go = false;
+        reason = "trough-wait";
+        ++stats_.deferred_trough;
+      } else if (verdict.reason == "trough-start") {
+        ++stats_.trough_released;
+      } else if (verdict.reason == "deadline") {
+        ++stats_.deadline_forced;
+      }
+    }
+    if (go) go = Admit(plan, kp.non_urgent, now, &reason);
     obs::RebalanceDecision decision;
     decision.tenant_id = plan.tenant_id;
     decision.source_server = plan.source_server;

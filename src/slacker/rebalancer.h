@@ -14,6 +14,10 @@
 
 namespace slacker {
 
+namespace forecast {
+class TroughScheduler;
+}  // namespace forecast
+
 /// Policy knobs for the autonomic control loop.
 struct RebalancerOptions {
   /// Control-loop sampling period (simulated seconds). Each tick
@@ -55,6 +59,14 @@ struct RebalancerOptions {
   /// fleet is calm: no hotspots and no migrations in flight.
   bool consolidate = true;
 
+  /// Optional trough scheduler (DESIGN.md §13). When set, non-urgent
+  /// plans (consolidation, drain evacuation) are first offered to the
+  /// scheduler, which may defer them into a predicted load trough
+  /// under a fallback deadline. Relief plans never consult it — a
+  /// hotspot is bleeding SLA right now. Null keeps the loop purely
+  /// reactive (the pre-forecast behavior, bit for bit).
+  forecast::TroughScheduler* trough_scheduler = nullptr;
+
   Status Validate() const;
 };
 
@@ -76,6 +88,15 @@ struct RebalancerStats {
   /// High-water mark of concurrent supervised migrations — tests
   /// assert this never exceeds max_concurrent_total.
   size_t max_inflight_observed = 0;
+  /// Trough-scheduler outcomes (zero when no scheduler is wired in):
+  /// plans held for a predicted trough, plans released because their
+  /// trough arrived, and plans force-released at the fallback deadline.
+  uint64_t deferred_trough = 0;
+  uint64_t trough_released = 0;
+  uint64_t deadline_forced = 0;
+  /// Relief plans admitted (subset of plans_admitted) — benches assert
+  /// urgent relief latency is untouched by predictive scheduling.
+  uint64_t relief_admitted = 0;
 };
 
 /// The closed loop that turns Slacker's mechanisms into an autonomic

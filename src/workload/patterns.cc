@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/random.h"
+
 namespace slacker::workload {
 
 DiurnalPattern::DiurnalPattern(SimTime period, double amplitude,
@@ -13,6 +15,26 @@ double DiurnalPattern::Rate(SimTime t) const {
   const double factor =
       1.0 + amplitude_ * std::sin(2.0 * M_PI * (t - phase_) / period_);
   return std::max(factor, 0.0);
+}
+
+DiurnalPattern DiurnalPattern::ForTenant(SimTime period, double amplitude,
+                                         SimTime phase,
+                                         const DiurnalJitter& jitter,
+                                         uint64_t seed, uint64_t tenant_id) {
+  // Mix the tenant id into the seed so each tenant owns an independent
+  // stream that does not depend on construction order.
+  Rng rng(seed ^ (tenant_id * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+  const double period_scale =
+      1.0 + jitter.period_fraction * (2.0 * rng.NextDouble() - 1.0);
+  const double phase_shift =
+      jitter.phase_fraction * period * (2.0 * rng.NextDouble() - 1.0);
+  const double amplitude_scale =
+      1.0 + jitter.amplitude_fraction * (2.0 * rng.NextDouble() - 1.0);
+  const SimTime jittered_period = std::max(period * period_scale, 1.0);
+  double jittered_amplitude = amplitude * amplitude_scale;
+  if (jittered_amplitude < 0.0) jittered_amplitude = 0.0;
+  return DiurnalPattern(jittered_period, jittered_amplitude,
+                        phase + phase_shift);
 }
 
 FlashCrowdPattern::FlashCrowdPattern(SimTime start, SimTime ramp,

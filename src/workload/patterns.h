@@ -1,6 +1,7 @@
 #ifndef SLACKER_WORKLOAD_PATTERNS_H_
 #define SLACKER_WORKLOAD_PATTERNS_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,11 +34,35 @@ class ConstantPattern : public ArrivalPattern {
   double factor_;
 };
 
+/// Per-tenant deviation from a fleet-wide diurnal base. Each fraction
+/// bounds a symmetric uniform draw: a tenant's period lands in
+/// base * [1 - period_fraction, 1 + period_fraction], its phase shifts
+/// by up to +/- phase_fraction of the period, and its amplitude scales
+/// by [1 - amplitude_fraction, 1 + amplitude_fraction]. Draws are
+/// derived from (seed, tenant_id) alone, so a tenant's curve is stable
+/// no matter how many tenants exist or in what order they are built.
+struct DiurnalJitter {
+  double period_fraction = 0.0;
+  double phase_fraction = 0.0;
+  double amplitude_fraction = 0.0;
+};
+
 /// Sinusoidal day/night swing: 1 + amplitude * sin(2π (t - phase) / period).
 class DiurnalPattern : public ArrivalPattern {
  public:
   DiurnalPattern(SimTime period, double amplitude, SimTime phase = 0.0);
   double Rate(SimTime t) const override;
+
+  /// A tenant's personal diurnal curve: the base (period, amplitude,
+  /// phase) perturbed by deterministic, seed-derived jitter so a fleet
+  /// of tenants shares one cycle without moving in lockstep.
+  static DiurnalPattern ForTenant(SimTime period, double amplitude,
+                                  SimTime phase, const DiurnalJitter& jitter,
+                                  uint64_t seed, uint64_t tenant_id);
+
+  SimTime period() const { return period_; }
+  double amplitude() const { return amplitude_; }
+  SimTime phase() const { return phase_; }
 
  private:
   SimTime period_;

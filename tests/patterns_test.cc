@@ -35,6 +35,60 @@ TEST(DiurnalPatternTest, NeverNegative) {
   for (double t = 0; t < 200; t += 5) EXPECT_GE(p.Rate(t), 0.0);
 }
 
+TEST(DiurnalJitterTest, DeterministicPerTenant) {
+  DiurnalJitter jitter;
+  jitter.period_fraction = 0.1;
+  jitter.phase_fraction = 0.25;
+  jitter.amplitude_fraction = 0.2;
+  const DiurnalPattern a =
+      DiurnalPattern::ForTenant(240.0, 0.5, 0.0, jitter, /*seed=*/1,
+                                /*tenant_id=*/7);
+  const DiurnalPattern b =
+      DiurnalPattern::ForTenant(240.0, 0.5, 0.0, jitter, 1, 7);
+  // Same (seed, tenant) -> bit-identical curve.
+  EXPECT_EQ(a.period(), b.period());
+  EXPECT_EQ(a.amplitude(), b.amplitude());
+  EXPECT_EQ(a.phase(), b.phase());
+  for (double t = 0.0; t < 480.0; t += 17.0) {
+    EXPECT_EQ(a.Rate(t), b.Rate(t));
+  }
+}
+
+TEST(DiurnalJitterTest, StaysInsideBounds) {
+  DiurnalJitter jitter;
+  jitter.period_fraction = 0.1;
+  jitter.phase_fraction = 0.25;
+  jitter.amplitude_fraction = 0.2;
+  for (uint64_t tenant = 0; tenant < 64; ++tenant) {
+    const DiurnalPattern p =
+        DiurnalPattern::ForTenant(240.0, 0.5, 10.0, jitter, 99, tenant);
+    EXPECT_GE(p.period(), 240.0 * 0.9 - 1e-9);
+    EXPECT_LE(p.period(), 240.0 * 1.1 + 1e-9);
+    EXPECT_GE(p.amplitude(), 0.5 * 0.8 - 1e-9);
+    EXPECT_LE(p.amplitude(), 0.5 * 1.2 + 1e-9);
+    EXPECT_GE(p.phase(), 10.0 - 0.25 * 240.0 - 1e-9);
+    EXPECT_LE(p.phase(), 10.0 + 0.25 * 240.0 + 1e-9);
+  }
+}
+
+TEST(DiurnalJitterTest, DistinctTenantsGetDistinctCurves) {
+  DiurnalJitter jitter;
+  jitter.phase_fraction = 0.25;
+  const DiurnalPattern a =
+      DiurnalPattern::ForTenant(240.0, 0.5, 0.0, jitter, 1, 1);
+  const DiurnalPattern b =
+      DiurnalPattern::ForTenant(240.0, 0.5, 0.0, jitter, 1, 2);
+  EXPECT_NE(a.phase(), b.phase());
+}
+
+TEST(DiurnalJitterTest, ZeroJitterIsTheBaseCurve) {
+  const DiurnalPattern p =
+      DiurnalPattern::ForTenant(240.0, 0.5, 5.0, DiurnalJitter(), 1, 3);
+  EXPECT_DOUBLE_EQ(p.period(), 240.0);
+  EXPECT_DOUBLE_EQ(p.amplitude(), 0.5);
+  EXPECT_DOUBLE_EQ(p.phase(), 5.0);
+}
+
 TEST(FlashCrowdPatternTest, RampHoldDecay) {
   FlashCrowdPattern p(/*start=*/100, /*ramp=*/10, /*hold=*/30, /*peak=*/4.0);
   EXPECT_DOUBLE_EQ(p.Rate(99), 1.0);
