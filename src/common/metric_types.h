@@ -1,0 +1,64 @@
+#ifndef SLACKER_COMMON_METRIC_TYPES_H_
+#define SLACKER_COMMON_METRIC_TYPES_H_
+
+#include <cstdint>
+
+namespace slacker::common {
+
+// The instrument primitives live in common (layer 0) so low-level
+// modules — resource, engine — can expose AttachObs hooks without
+// depending on the obs module. obs owns the registry, sampling and
+// exporters, and re-exports these names as obs::Counter etc.
+
+/// Monotonically increasing count. Hot-path increments are a single
+/// add on a stable pointer — safe to leave compiled into hot loops
+/// (the simulator is single-threaded, so no atomics are needed; the
+/// layout mirrors what a relaxed atomic would be in a threaded build).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depth, throttle rate).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed distribution (latencies). Buckets double from 1 upward,
+/// so percentiles are exact to a factor of 2 — enough for dashboards;
+/// exact percentiles stay with common/stats.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  /// Upper edge of the bucket holding the p-th percentile (nearest
+  /// rank), p in (0, 100].
+  double Percentile(double p) const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace slacker::common
+
+#endif  // SLACKER_COMMON_METRIC_TYPES_H_

@@ -110,7 +110,8 @@ class [[nodiscard]] Result {
   /// functions (matching absl::StatusOr ergonomics).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from error status; `status.ok()` must be false.
-  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
 
   bool ok() const { return std::holds_alternative<T>(value_); }
 

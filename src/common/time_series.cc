@@ -1,10 +1,10 @@
-#include "src/workload/trace.h"
+#include "src/common/time_series.h"
 
 #include <algorithm>
 #include <cmath>
 #include <sstream>
 
-namespace slacker::workload {
+namespace slacker::common {
 
 void TimeSeries::Add(double t, double value) {
   points_.push_back(TracePoint{t, value});
@@ -84,4 +84,4 @@ std::string TimeSeries::ToCsv(const std::string& value_name) const {
   return out.str();
 }
 
-}  // namespace slacker::workload
+}  // namespace slacker::common

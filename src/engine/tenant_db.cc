@@ -60,7 +60,8 @@ uint64_t TenantDb::RegisterOp(OpCallback done) {
   return token;
 }
 
-void TenantDb::AttachObs(obs::Histogram* op_latency_ms, obs::Counter* ops) {
+void TenantDb::AttachObs(common::Histogram* op_latency_ms,
+                         common::Counter* ops) {
   op_latency_hist_ = op_latency_ms;
   ops_counter_ = ops;
   if (op_latency_hist_ == nullptr) op_start_.clear();

@@ -8,10 +8,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/metric_types.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/engine/tenant_config.h"
-#include "src/obs/metric_registry.h"
 #include "src/resource/cpu.h"
 #include "src/resource/disk.h"
 #include "src/sim/simulator.h"
@@ -165,7 +165,7 @@ class TenantDb {
   /// completed operation observes its start-to-finish latency (ms) and
   /// bumps the op counter. Pass nullptrs to detach. Off (no per-op
   /// bookkeeping at all) unless attached.
-  void AttachObs(obs::Histogram* op_latency_ms, obs::Counter* ops);
+  void AttachObs(common::Histogram* op_latency_ms, common::Counter* ops);
 
  private:
   struct PendingOp {
@@ -211,8 +211,8 @@ class TenantDb {
   uint64_t next_op_token_ = 1;
   std::map<uint64_t, OpCallback> pending_done_;
   /// Observability (inert unless AttachObs was called).
-  obs::Histogram* op_latency_hist_ = nullptr;
-  obs::Counter* ops_counter_ = nullptr;
+  common::Histogram* op_latency_hist_ = nullptr;
+  common::Counter* ops_counter_ = nullptr;
   std::map<uint64_t, SimTime> op_start_;
   /// Expires when the instance is destroyed (server crash / tenant
   /// delete); continuations routed through the shared disk/CPU check it

@@ -33,13 +33,14 @@ Status ForecastOptions::Validate() const {
   return Status::Ok();
 }
 
-FleetLoadSampler::FleetLoadSampler(Cluster* cluster, ForecastOptions options)
-    : cluster_(cluster),
-      sim_(cluster->simulator()),
+FleetLoadSampler::FleetLoadSampler(FleetOpsSource* source,
+                                   ForecastOptions options)
+    : source_(source),
+      sim_(source->simulator()),
       options_(options),
       detector_(options.cycle) {
-  servers_.reserve(cluster->num_servers());
-  for (size_t i = 0; i < cluster->num_servers(); ++i) {
+  servers_.reserve(source->num_servers());
+  for (size_t i = 0; i < source->num_servers(); ++i) {
     servers_.push_back(std::make_unique<ServerState>(options_));
   }
 }
@@ -54,10 +55,12 @@ Status FleetLoadSampler::Start() {
   // Fresh ops baseline so the first bucket observes exactly one bucket
   // of throughput.
   ops_baseline_.clear();
-  for (uint64_t sid = 0; sid < cluster_->num_servers(); ++sid) {
-    for (uint64_t tenant_id : cluster_->directory()->TenantsOn(sid)) {
-      const engine::TenantDb* db = cluster_->TenantOn(sid, tenant_id);
-      if (db != nullptr) ops_baseline_[tenant_id] = db->ops_executed();
+  for (uint64_t sid = 0; sid < source_->num_servers(); ++sid) {
+    for (uint64_t tenant_id : source_->SampledTenantsOn(sid)) {
+      uint64_t ops = 0;
+      if (source_->TenantOpsExecuted(sid, tenant_id, &ops)) {
+        ops_baseline_[tenant_id] = ops;
+      }
     }
   }
   timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -84,13 +87,12 @@ void FleetLoadSampler::OnBucket(SimTime now) {
   ++buckets_sampled_;
   // Per-tenant throughput deltas, walked in (server id, tenant id)
   // order; aggregate each server's normalized load as it goes.
-  for (uint64_t sid = 0; sid < cluster_->num_servers(); ++sid) {
+  for (uint64_t sid = 0; sid < source_->num_servers(); ++sid) {
     double ops_per_sec = 0.0;
-    for (uint64_t tenant_id : cluster_->directory()->TenantsOn(sid)) {
-      const engine::TenantDb* db = cluster_->TenantOn(sid, tenant_id);
+    for (uint64_t tenant_id : source_->SampledTenantsOn(sid)) {
+      uint64_t total = 0;
       uint64_t delta = 0;
-      if (db != nullptr) {
-        const uint64_t total = db->ops_executed();
+      if (source_->TenantOpsExecuted(sid, tenant_id, &total)) {
         const auto it = ops_baseline_.find(tenant_id);
         const uint64_t prev = it == ops_baseline_.end() ? 0 : it->second;
         // A counter that moved backwards means the tenant was rebuilt
@@ -216,7 +218,7 @@ SimTime FleetLoadSampler::NextTroughStart(uint64_t server_id,
 void FleetLoadSampler::EmitForecastUpdated(uint64_t server_id,
                                            const ServerState& state,
                                            SimTime now) {
-  obs::Tracer* tracer = cluster_->tracer();
+  obs::Tracer* tracer = source_->tracer();
   if (tracer == nullptr) return;
   const std::string label = "server=" + std::to_string(server_id);
   tracer->registry()

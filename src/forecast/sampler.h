@@ -8,11 +8,11 @@
 
 #include "src/common/status.h"
 #include "src/forecast/cycle_detector.h"
+#include "src/forecast/fleet_source.h"
 #include "src/forecast/holt_winters.h"
 #include "src/forecast/load_predictor.h"
 #include "src/forecast/ring_buffer.h"
 #include "src/sim/simulator.h"
-#include "src/slacker/cluster.h"
 
 namespace slacker::forecast {
 
@@ -51,7 +51,9 @@ struct ForecastOptions {
 /// then tenant id, so runs are bit-reproducible.
 class FleetLoadSampler : public LoadPredictor {
  public:
-  FleetLoadSampler(Cluster* cluster, ForecastOptions options);
+  /// `source` is the fleet under observation (usually the Cluster,
+  /// which implements FleetOpsSource); it must outlive the sampler.
+  FleetLoadSampler(FleetOpsSource* source, ForecastOptions options);
   ~FleetLoadSampler() override;
 
   FleetLoadSampler(const FleetLoadSampler&) = delete;
@@ -99,7 +101,7 @@ class FleetLoadSampler : public LoadPredictor {
   void EmitForecastUpdated(uint64_t server_id, const ServerState& state,
                            SimTime now);
 
-  Cluster* cluster_;
+  FleetOpsSource* source_;
   sim::Simulator* sim_;
   ForecastOptions options_;
   CycleDetector detector_;

@@ -1,36 +1,6 @@
 #include "src/obs/metric_registry.h"
 
-#include <cmath>
-
 namespace slacker::obs {
-
-void Histogram::Observe(double v) {
-  if (count_ == 0 || v < min_) min_ = v;
-  if (v > max_) max_ = v;
-  ++count_;
-  sum_ += v;
-  int bucket = 0;
-  double edge = 1.0;
-  while (bucket < kBuckets - 1 && v > edge) {
-    edge *= 2.0;
-    ++bucket;
-  }
-  ++buckets_[bucket];
-}
-
-double Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  const uint64_t rank =
-      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
-  uint64_t seen = 0;
-  double edge = 1.0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= rank) return edge;
-    edge *= 2.0;
-  }
-  return max_;
-}
 
 std::string MetricRegistry::FullName(const std::string& name,
                                      const std::string& labels) {

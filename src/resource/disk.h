@@ -6,9 +6,9 @@
 #include <functional>
 #include <string>
 
+#include "src/common/metric_types.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
-#include "src/obs/metric_registry.h"
 #include "src/sim/simulator.h"
 
 namespace slacker::resource {
@@ -63,7 +63,7 @@ class DiskModel {
 
   /// Mirrors QueueDepth into `queue_depth` on every submit/complete.
   /// Pass nullptr to detach; off by default.
-  void AttachObs(obs::Gauge* queue_depth) {
+  void AttachObs(common::Gauge* queue_depth) {
     queue_depth_gauge_ = queue_depth;
     if (queue_depth_gauge_ != nullptr) {
       queue_depth_gauge_->Set(static_cast<double>(QueueDepth()));
@@ -97,7 +97,7 @@ class DiskModel {
   uint64_t last_stream_ = UINT64_MAX;
   bool last_was_sequential_ = false;
 
-  obs::Gauge* queue_depth_gauge_ = nullptr;
+  common::Gauge* queue_depth_gauge_ = nullptr;
 
   SimTime busy_time_ = 0.0;
   SimTime stats_epoch_ = 0.0;

@@ -18,7 +18,7 @@ bool Satisfies(const SlaSpec& spec, const PercentileTracker& latencies) {
 }
 
 SlaEvaluation EvaluateWindowed(const SlaSpec& spec,
-                               const workload::TimeSeries& latency_series,
+                               const common::TimeSeries& latency_series,
                                double window_seconds) {
   SlaEvaluation eval;
   if (latency_series.empty() || window_seconds <= 0.0) return eval;

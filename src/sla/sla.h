@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "src/common/stats.h"
-#include "src/workload/trace.h"
+#include "src/common/time_series.h"
 
 namespace slacker::sla {
 
@@ -40,7 +40,7 @@ struct SlaEvaluation {
 };
 
 SlaEvaluation EvaluateWindowed(const SlaSpec& spec,
-                               const workload::TimeSeries& latency_series,
+                               const common::TimeSeries& latency_series,
                                double window_seconds);
 
 }  // namespace slacker::sla

@@ -212,6 +212,18 @@ engine::TenantDb* Cluster::TenantOn(uint64_t server_id, uint64_t tenant_id) {
   return host == nullptr ? nullptr : host->tenants()->Get(tenant_id);
 }
 
+std::vector<uint64_t> Cluster::SampledTenantsOn(uint64_t server_id) {
+  return directory_.TenantsOn(server_id);
+}
+
+bool Cluster::TenantOpsExecuted(uint64_t server_id, uint64_t tenant_id,
+                                uint64_t* ops) {
+  const engine::TenantDb* db = TenantOn(server_id, tenant_id);
+  if (db == nullptr) return false;
+  *ops = db->ops_executed();
+  return true;
+}
+
 Result<engine::TenantDb*> Cluster::CreateTenantOn(
     uint64_t server_id, const engine::TenantConfig& config, bool load,
     bool frozen) {

@@ -10,6 +10,7 @@
 
 #include "src/common/status.h"
 #include "src/control/latency_monitor.h"
+#include "src/forecast/fleet_source.h"
 #include "src/net/channel.h"
 #include "src/resource/cpu.h"
 #include "src/resource/disk.h"
@@ -113,16 +114,18 @@ class Server {
 /// N servers, a full mesh of gigabit links with a message channel per
 /// ordered pair, the frontend tenant directory, and the plumbing that
 /// routes client latencies to the hosting server's monitor. Implements
-/// MigrationContext for the jobs and TenantResolver for the benchmark
-/// clients.
-class Cluster : public MigrationContext, public workload::TenantResolver {
+/// MigrationContext for the jobs, TenantResolver for the benchmark
+/// clients, and FleetOpsSource for the forecast sampler.
+class Cluster : public MigrationContext,
+                public workload::TenantResolver,
+                public forecast::FleetOpsSource {
  public:
   Cluster(sim::Simulator* sim, const ClusterOptions& options);
   ~Cluster() override;
 
   // --- Topology ---------------------------------------------------
   Server* server(uint64_t id);
-  size_t num_servers() const { return servers_.size(); }
+  size_t num_servers() const override { return servers_.size(); }
   /// Ids of the servers currently up — the fleet the rebalancer plans
   /// over (a crashed server is neither a migration source nor target).
   std::vector<uint64_t> UpServerIds() const;
@@ -229,6 +232,12 @@ class Cluster : public MigrationContext, public workload::TenantResolver {
   obs::Tracer* tracer() override { return tracer_; }
   /// Always on: every Cluster audits its migrations (DESIGN.md §9).
   InvariantAuditor* auditor() override { return &auditor_; }
+
+  // --- FleetOpsSource ---------------------------------------------
+  // (simulator(), tracer() and num_servers() above also satisfy it.)
+  std::vector<uint64_t> SampledTenantsOn(uint64_t server_id) override;
+  bool TenantOpsExecuted(uint64_t server_id, uint64_t tenant_id,
+                         uint64_t* ops) override;
 
  private:
   void RecoverServer(uint64_t server_id);

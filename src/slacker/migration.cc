@@ -428,9 +428,18 @@ void MigrationJob::HandleMessage(const net::Message& message) {
     case net::MessageType::kMigrateAbort:
       Finish(Status::Aborted("target aborted: " + message.error));
       return;
-    default:
+    case net::MessageType::kMigrateRequest:
+    case net::MessageType::kSnapshotBegin:
+    case net::MessageType::kSnapshotChunk:
+    case net::MessageType::kSnapshotEnd:
+    case net::MessageType::kDeltaBatch:
+    case net::MessageType::kHandoverRequest:
+    case net::MessageType::kHandoverCommit:
+      // Target-bound traffic; a source job can only ignore it. Spelled
+      // out (no default:) so -Wswitch flags new message types.
       SLACKER_LOG_WARN << "source job ignoring message type "
                        << static_cast<int>(message.type);
+      return;
   }
 }
 
@@ -1549,9 +1558,18 @@ void TargetSession::HandleMessage(const net::Message& message) {
       MarkFinished();
       return;
     }
-    default:
+    case net::MessageType::kMigrateRequest:
+    case net::MessageType::kMigrateAccept:
+    case net::MessageType::kSnapshotAck:
+    case net::MessageType::kDeltaAck:
+    case net::MessageType::kHandoverAck:
+    case net::MessageType::kSnapshotResume:
+    case net::MessageType::kSnapshotNack:
+      // Source-bound traffic; a target session can only ignore it.
+      // Spelled out (no default:) so -Wswitch flags new message types.
       SLACKER_LOG_WARN << "target session ignoring message type "
                        << static_cast<int>(message.type);
+      return;
   }
 }
 

@@ -119,9 +119,12 @@ void MigrationController::HandleMessage(uint64_t from_server,
       it->second->HandleMessage(message);
       return;
     }
-    default:
+    case net::MessageType::kMigrateRequest:
+      // Unreachable: handled by the early return at the top. Spelled
+      // out (no default:) so -Wswitch flags new message types.
       SLACKER_LOG_WARN << "controller ignoring message type "
                        << static_cast<int>(message.type);
+      return;
   }
 }
 

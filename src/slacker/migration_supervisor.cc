@@ -73,9 +73,19 @@ bool MigrationSupervisor::IsTransient(const Status& status) {
     case StatusCode::kTargetOverloaded:  // Backs off, load may drain.
     case StatusCode::kFailedPrecondition:  // e.g. tenant already migrating.
       return true;
-    default:
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInternal:
+    case StatusCode::kTooLateToCancel:
+      // Permanent: retrying cannot change the outcome. Spelled out (no
+      // default:) so -Wswitch forces a transient-or-permanent decision
+      // for every new status code.
       return false;
   }
+  return false;  // Out-of-range code (corrupt wire value).
 }
 
 void MigrationSupervisor::Quench(const std::string& reason) {

@@ -29,8 +29,10 @@ std::string PhaseName(MigrationPhase phase) {
     case MigrationPhase::kPrepare: return "Prepare";
     case MigrationPhase::kDelta: return "Delta";
     case MigrationPhase::kHandover: return "Handover";
-    default: return "Terminal";
+    case MigrationPhase::kDone:
+    case MigrationPhase::kFailed: return "Terminal";
   }
+  return "Terminal";
 }
 
 class CrashPhaseSweep : public ::testing::TestWithParam<CrashPhaseParams> {};

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/time_series.h"
 #include "src/sla/sla.h"
 
 namespace slacker::sla {
@@ -30,7 +31,7 @@ TEST(SatisfiesTest, EmptySampleSatisfiesVacuously) {
 }
 
 TEST(EvaluateWindowedTest, CountsViolatingWindows) {
-  workload::TimeSeries series;
+  common::TimeSeries series;
   // 10 s of good latency, 10 s of bad, 10 s of good.
   for (int t = 0; t < 30; ++t) {
     const double latency = (t >= 10 && t < 20) ? 2000.0 : 100.0;
@@ -46,7 +47,7 @@ TEST(EvaluateWindowedTest, CountsViolatingWindows) {
 }
 
 TEST(EvaluateWindowedTest, EmptySeries) {
-  workload::TimeSeries series;
+  common::TimeSeries series;
   const SlaEvaluation eval = EvaluateWindowed(SlaSpec{}, series, 10.0);
   EXPECT_EQ(eval.windows, 0);
   EXPECT_EQ(eval.violations, 0);
@@ -54,7 +55,7 @@ TEST(EvaluateWindowedTest, EmptySeries) {
 }
 
 TEST(EvaluateWindowedTest, PercentileWithinWindowTolersOutliers) {
-  workload::TimeSeries series;
+  common::TimeSeries series;
   // 99 fast + 1 slow per window: p95 stays low, p99.9 would not.
   for (int w = 0; w < 5; ++w) {
     for (int i = 0; i < 99; ++i) series.Add(w * 10.0 + i * 0.1, 50.0);

@@ -1,0 +1,113 @@
+#ifndef SLACKER_TOOLS_SLACKER_LINT_LAYERING_H_
+#define SLACKER_TOOLS_SLACKER_LINT_LAYERING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/slacker_lint/lint.h"
+
+namespace slacker::lint {
+
+/// The checked-in module-layering contract (tools/slacker_lint/
+/// layers.json). A module may include itself and any module in a
+/// strictly lower layer; everything else is a violation unless the
+/// edge appears in `allow` with a rationale.
+struct LayerManifest {
+  struct AllowedEdge {
+    std::string from;
+    std::string to;
+    std::string why;
+  };
+
+  /// layers[0] is the bottom of the DAG.
+  std::vector<std::vector<std::string>> layers;
+  std::vector<AllowedEdge> allow;
+
+  /// Layer index of `module`, or -1 when the module is not declared.
+  int LayerOf(const std::string& module) const;
+  /// True if `from` -> `to` is an explicitly allowed exception.
+  bool IsAllowed(const std::string& from, const std::string& to) const;
+};
+
+/// Parses the layers.json subset (objects, arrays, strings; "//" keys
+/// are comments). Returns false and fills `*error` on malformed input
+/// or a manifest that fails validation (duplicate module, empty layer,
+/// allow-edge naming an undeclared module).
+bool ParseLayerManifest(const std::string& json, LayerManifest* manifest,
+                        std::string* error);
+
+/// Repo-relative form of `path`: the suffix starting at the last
+/// path segment equal to a project root (src, bench, tests, tools,
+/// examples). Empty when no root segment is present.
+std::string NormalizePath(const std::string& path);
+
+/// Module owning `path`: the directory under src/ ("src/net/wire.h" ->
+/// "net") or the root itself ("bench/harness.h" -> "bench"). Empty for
+/// external includes like "gtest/gtest.h".
+std::string ModuleOf(const std::string& path);
+
+/// Rules emitted by the layering pass:
+///
+///   slacker-layering        an `#include "..."` edge that goes upward
+///                           or sideways in the layer DAG and is not in
+///                           the manifest's allow list.
+///   slacker-unknown-module  a scanned file (or include target under a
+///                           project root) whose module is not declared
+///                           in the manifest.
+///   slacker-include-cycle   a strongly connected component in the
+///                           file-level include graph.
+///   slacker-module-cycle    a cycle in the module graph (possible even
+///                           without a file-level cycle; it means the
+///                           allow list, not just the code, is broken).
+///
+/// Include-line findings honour the same NOLINT(...) escape hatch as
+/// the determinism rules; structural exemptions belong in layers.json.
+class LayerAnalyzer {
+ public:
+  /// Registers a file's content. `path` may be absolute; findings use
+  /// it verbatim while graph node identity uses NormalizePath().
+  void AddFile(const std::string& path, const std::string& content);
+
+  /// Runs the layering + cycle passes; findings ordered by
+  /// (path, line, rule). Also records which NOLINT suppressions were
+  /// exercised (see used_suppressions()).
+  std::vector<Finding> Run(const LayerManifest& manifest);
+
+  /// Graphviz DOT of the module graph observed by the last Run():
+  /// layers as ranked clusters, conforming edges solid, allowed
+  /// exceptions dashed, violations bold red. Byte-deterministic.
+  std::string ModuleGraphDot(const LayerManifest& manifest) const;
+
+  /// (path, line, rule) triples whose findings were NOLINT-suppressed
+  /// during the last Run(); feeds the unused-NOLINT check.
+  const std::vector<Finding>& used_suppressions() const {
+    return used_suppressions_;
+  }
+
+ private:
+  struct IncludeEdge {
+    int line = 0;             // 1-based.
+    std::string target;       // Include string, verbatim.
+    std::string raw_line;     // For NOLINT detection.
+  };
+  struct FileNode {
+    std::string path;         // As given (findings).
+    std::string norm;         // NormalizePath(path) (graph identity).
+    std::string module;
+    std::vector<IncludeEdge> includes;
+  };
+
+  std::vector<FileNode> files_;
+  /// Module edge -> one witness include (file path, line, target) for
+  /// deterministic reporting; populated by Run().
+  std::map<std::pair<std::string, std::string>,
+           std::tuple<std::string, int, std::string>>
+      module_edges_;
+  std::vector<Finding> used_suppressions_;
+};
+
+}  // namespace slacker::lint
+
+#endif  // SLACKER_TOOLS_SLACKER_LINT_LAYERING_H_

@@ -6,16 +6,187 @@
 #include <filesystem>
 #include <fstream>
 #include <regex>
-#include <set>
 #include <sstream>
+
+#include "tools/slacker_lint/layering.h"
 
 namespace slacker::lint {
 namespace {
 
-/// Replaces the bodies of string literals, char literals and comments
-/// with spaces (newlines preserved) so the rule regexes never match
-/// inside quoted text. Raw strings are handled with the default `R"("`
-/// delimiter only — enough for this tree.
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= s.size()) {
+    const auto nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+bool PathContains(const std::string& path, const std::string& needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+const char* const kDeclKeywords[] = {
+    "return", "co_return", "else",    "delete", "throw", "new",
+    "case",   "goto",      "typedef", "using",  "if",    "while",
+    "for",    "switch",    "do",      "sizeof", "not"};
+
+bool IsDeclKeyword(const std::string& word) {
+  for (const char* k : kDeclKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `name` occurs in `text` as a whole identifier.
+bool ContainsWord(const std::string& text, const std::string& name) {
+  std::string::size_type pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(text[pos - 1]);
+    const auto end = pos + name.size();
+    const bool right_ok = end >= text.size() || !IsWordChar(text[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// --- Rule regexes (compiled once) ---------------------------------------
+
+const std::regex& WallclockRe() {
+  static const std::regex re(
+      R"((std::chrono::)?(system_clock|steady_clock|high_resolution_clock)\s*::|\b(gettimeofday|clock_gettime|localtime|gmtime|strftime)\s*\(|(^|[^\w.>])time\s*\()");
+  return re;
+}
+
+const std::regex& RawRandRe() {
+  static const std::regex re(
+      R"(\b(rand|srand|random)\s*\(|std::random_device)");
+  return re;
+}
+
+/// Byte-level reinterpretation of wire data: reinterpret_cast or raw
+/// memcpy decoding. Outside src/codec + src/net (the frame layer) and
+/// src/common (ByteReader/ByteWriter internals), wire bytes must go
+/// through the checksummed codec/net decoders.
+const std::regex& WireDecodeRe() {
+  static const std::regex re(R"(\breinterpret_cast\s*<|\bmemcpy\s*\()");
+  return re;
+}
+
+const std::regex& FloatEqRe() {
+  static const std::regex re(
+      R"([=!]=\s*[0-9]+\.[0-9]*(e-?[0-9]+)?f?\b|[0-9]+\.[0-9]*(e-?[0-9]+)?f?\s*[=!]=)");
+  return re;
+}
+
+const std::regex& UnorderedDeclRe() {
+  static const std::regex re(
+      R"(unordered_(map|set)\s*<[^;]*>\s+(\w+)\s*(;|=|\{))");
+  return re;
+}
+
+/// `Status Foo(` / `Result<T> Class::Foo(` declaration or definition
+/// starting a line (after optional specifiers).
+const std::regex& StatusDeclRe() {
+  static const std::regex re(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*(?:slacker::)?(Status|Result\s*<[^;{}()]*>)\s+(?:\w+::)*(\w+)\s*\()");
+  return re;
+}
+
+/// Any other `<type> Foo(` declaration starting a line; used to retire
+/// names that are ambiguous across the scanned tree.
+const std::regex& OtherDeclRe() {
+  static const std::regex re(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*((?:\w+::)*\w+)(?:\s*<[^;{}()]*>)?(?:\s*[*&]+)?\s+(?:\w+::)*(\w+)\s*\()");
+  return re;
+}
+
+/// A bare call in statement position: optional `obj.` / `ptr->` /
+/// `ns::` qualification chain, a callee name, `(`, and the line must
+/// end the statement (`);`).
+const std::regex& StatementCallRe() {
+  static const std::regex re(
+      R"(^\s*((?:[A-Za-z_]\w*(?:\(\))?(?:\.|->|::))*)([A-Za-z_]\w*)\s*\(.*\)\s*;\s*$)");
+  return re;
+}
+
+/// A named enum declaration (plain or scoped).
+const std::regex& EnumDeclRe() {
+  static const std::regex re(R"(\benum\s+(?:class\s+|struct\s+)?(\w+))");
+  return re;
+}
+
+/// `Status s = ...` / `Result<T> s = ...` / bare `Status s` local
+/// declaration, matched against a whole (joined) statement.
+const std::regex& StatusLocalRe() {
+  static const std::regex re(
+      R"(^\s*(?:const\s+)?(?:slacker::)?(?:Status|Result\s*<[^;{}]*>)\s+(\w+)\s*(=(?!=)|$))");
+  return re;
+}
+
+/// `name = <rest>` pure reassignment (not ==, not +=).
+const std::regex& ReassignRe() {
+  static const std::regex re(R"(^\s*(\w+)\s*=(?!=)(.*)$)");
+  return re;
+}
+
+/// A NOLINT marker at the start of a comment (distinguishes real
+/// markers from prose that merely mentions NOLINT).
+const std::regex& NolintMarkerRe() {
+  static const std::regex re(R"(//\s*NOLINT\b\s*(\(([^)]*)\))?)");
+  return re;
+}
+
+std::string Trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string MaskCommentsAndStrings(const std::string& in) {
   std::string out = in;
   enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
@@ -96,156 +267,41 @@ std::string MaskCommentsAndStrings(const std::string& in) {
   return out;
 }
 
-std::vector<std::string> SplitLines(const std::string& s) {
-  std::vector<std::string> lines;
-  std::string::size_type start = 0;
-  while (start <= s.size()) {
-    const auto nl = s.find('\n', start);
-    if (nl == std::string::npos) {
-      lines.push_back(s.substr(start));
-      break;
-    }
-    lines.push_back(s.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-/// True if `raw` carries a NOLINT marker that suppresses `rule`: a bare
-/// NOLINT suppresses everything; NOLINT(a, b) suppresses only the named
-/// rules.
-bool Suppressed(const std::string& raw, const std::string& rule) {
-  const auto pos = raw.find("NOLINT");
+bool IsSuppressed(const std::string& raw_line, const std::string& rule) {
+  const auto pos = raw_line.find("NOLINT");
   if (pos == std::string::npos) return false;
   const auto paren = pos + 6;
-  if (paren >= raw.size() || raw[paren] != '(') return true;  // Bare NOLINT.
-  const auto close = raw.find(')', paren);
-  const std::string list =
-      raw.substr(paren + 1, close == std::string::npos ? std::string::npos
-                                                       : close - paren - 1);
+  if (paren >= raw_line.size() || raw_line[paren] != '(') {
+    return true;  // Bare NOLINT.
+  }
+  const auto close = raw_line.find(')', paren);
+  const std::string list = raw_line.substr(
+      paren + 1,
+      close == std::string::npos ? std::string::npos : close - paren - 1);
   return list.find(rule) != std::string::npos;
 }
-
-bool PathContains(const std::string& path, const std::string& needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-const char* const kDeclKeywords[] = {
-    "return", "co_return", "else",    "delete", "throw", "new",
-    "case",   "goto",      "typedef", "using",  "if",    "while",
-    "for",    "switch",    "do",      "sizeof", "not"};
-
-bool IsDeclKeyword(const std::string& word) {
-  for (const char* k : kDeclKeywords) {
-    if (word == k) return true;
-  }
-  return false;
-}
-
-// --- Rule regexes (compiled once) ---------------------------------------
-
-const std::regex& WallclockRe() {
-  static const std::regex re(
-      R"((std::chrono::)?(system_clock|steady_clock|high_resolution_clock)\s*::|\b(gettimeofday|clock_gettime|localtime|gmtime|strftime)\s*\(|(^|[^\w.>])time\s*\()");
-  return re;
-}
-
-const std::regex& RawRandRe() {
-  static const std::regex re(
-      R"(\b(rand|srand|random)\s*\(|std::random_device)");
-  return re;
-}
-
-/// Byte-level reinterpretation of wire data: reinterpret_cast or raw
-/// memcpy decoding. Outside src/codec + src/net (the frame layer) and
-/// src/common (ByteReader/ByteWriter internals), wire bytes must go
-/// through the checksummed codec/net decoders.
-const std::regex& WireDecodeRe() {
-  static const std::regex re(R"(\breinterpret_cast\s*<|\bmemcpy\s*\()");
-  return re;
-}
-
-const std::regex& FloatEqRe() {
-  static const std::regex re(
-      R"([=!]=\s*[0-9]+\.[0-9]*(e-?[0-9]+)?f?\b|[0-9]+\.[0-9]*(e-?[0-9]+)?f?\s*[=!]=)");
-  return re;
-}
-
-const std::regex& UnorderedDeclRe() {
-  static const std::regex re(
-      R"(unordered_(map|set)\s*<[^;]*>\s+(\w+)\s*(;|=|\{))");
-  return re;
-}
-
-/// `Status Foo(` / `Result<T> Class::Foo(` declaration or definition
-/// starting a line (after optional specifiers).
-const std::regex& StatusDeclRe() {
-  static const std::regex re(
-      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*(?:slacker::)?(Status|Result\s*<[^;{}()]*>)\s+(?:\w+::)*(\w+)\s*\()");
-  return re;
-}
-
-/// Any other `<type> Foo(` declaration starting a line; used to retire
-/// names that are ambiguous across the scanned tree.
-const std::regex& OtherDeclRe() {
-  static const std::regex re(
-      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:virtual\s+|static\s+|inline\s+|constexpr\s+|friend\s+|explicit\s+)*((?:\w+::)*\w+)(?:\s*<[^;{}()]*>)?(?:\s*[*&]+)?\s+(?:\w+::)*(\w+)\s*\()");
-  return re;
-}
-
-/// A bare call in statement position: optional `obj.` / `ptr->` /
-/// `ns::` qualification chain, a callee name, `(`, and the line must
-/// end the statement (`);`).
-const std::regex& StatementCallRe() {
-  static const std::regex re(
-      R"(^\s*((?:[A-Za-z_]\w*(?:\(\))?(?:\.|->|::))*)([A-Za-z_]\w*)\s*\(.*\)\s*;\s*$)");
-  return re;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 void Linter::AddFile(const std::string& path, const std::string& content) {
   FileEntry entry;
   entry.path = path;
   entry.raw = SplitLines(content);
   entry.masked = SplitLines(MaskCommentsAndStrings(content));
-  CollectStatusNames(entry);
+  CollectDeclarations(entry);
   files_.push_back(std::move(entry));
 }
 
-void Linter::CollectStatusNames(const FileEntry& file) {
+void Linter::NoteSuppressionUsed(const std::string& path, int line) {
+  suppressions_used_.insert({path, line});
+}
+
+void Linter::CollectDeclarations(const FileEntry& file) {
   std::smatch m;
   for (const std::string& line : file.masked) {
+    std::string rest = line;
+    while (std::regex_search(rest, m, EnumDeclRe())) {
+      enum_names_.push_back(m[1].str());
+      rest = m.suffix();
+    }
     if (std::regex_search(line, m, StatusDeclRe())) {
       status_names_.push_back(m[2].str());
       continue;
@@ -266,10 +322,19 @@ std::vector<Finding> Linter::Run() {
       std::unique(status_names_.begin(), status_names_.end()),
       status_names_.end());
   std::sort(other_names_.begin(), other_names_.end());
+  std::sort(enum_names_.begin(), enum_names_.end());
+  enum_names_.erase(std::unique(enum_names_.begin(), enum_names_.end()),
+                    enum_names_.end());
 
   std::vector<Finding> findings;
   for (const FileEntry& file : files_) {
     LintFile(file, &findings);
+    LintFlow(file, &findings);
+  }
+  // After every suppression has been exercised (or not): stale-marker
+  // detection.
+  for (const FileEntry& file : files_) {
+    LintUnusedNolint(file, &findings);
   }
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -280,8 +345,21 @@ std::vector<Finding> Linter::Run() {
   return findings;
 }
 
-void Linter::LintFile(const FileEntry& file,
-                      std::vector<Finding>* out) const {
+void Linter::Emit(const FileEntry& file, int line_index, const char* rule,
+                  std::string message, std::vector<Finding>* out) {
+  if (IsSuppressed(file.raw[line_index], rule)) {
+    suppressions_used_.insert({file.path, line_index + 1});
+    return;
+  }
+  Finding f;
+  f.path = file.path;
+  f.line = line_index + 1;
+  f.rule = rule;
+  f.message = std::move(message);
+  out->push_back(std::move(f));
+}
+
+void Linter::LintFile(const FileEntry& file, std::vector<Finding>* out) {
   const bool in_random_module = PathContains(file.path, "src/common/random");
   const bool in_obs = PathContains(file.path, "src/obs");
   const bool in_byte_layer = PathContains(file.path, "src/codec") ||
@@ -302,46 +380,40 @@ void Linter::LintFile(const FileEntry& file,
     }
   }
 
-  auto emit = [&](int line_index, const char* rule, std::string message) {
-    if (Suppressed(file.raw[line_index], rule)) return;
-    Finding f;
-    f.path = file.path;
-    f.line = line_index + 1;
-    f.rule = rule;
-    f.message = std::move(message);
-    out->push_back(std::move(f));
-  };
-
   std::smatch m;
   for (size_t i = 0; i < file.masked.size(); ++i) {
     const std::string& line = file.masked[i];
     if (line.empty()) continue;
 
     if (std::regex_search(line, WallclockRe())) {
-      emit(static_cast<int>(i), "slacker-wallclock",
+      Emit(file, static_cast<int>(i), "slacker-wallclock",
            "wall-clock read; sim code must take time from the "
-           "sim::Simulator clock");
+           "sim::Simulator clock",
+           out);
     }
 
     if (!in_random_module && std::regex_search(line, RawRandRe())) {
-      emit(static_cast<int>(i), "slacker-raw-rand",
+      Emit(file, static_cast<int>(i), "slacker-raw-rand",
            "unseeded randomness; draw from an explicitly seeded "
-           "slacker::Rng (src/common/random.h) instead");
+           "slacker::Rng (src/common/random.h) instead",
+           out);
     }
 
     if (!in_byte_layer && std::regex_search(line, WireDecodeRe())) {
-      emit(static_cast<int>(i), "slacker-wire-decode",
+      Emit(file, static_cast<int>(i), "slacker-wire-decode",
            "raw byte reinterpretation outside the frame layer; decode "
            "wire data through src/codec / src/net (CRC-checked) "
-           "instead");
+           "instead",
+           out);
     }
 
     if (line.find("EXPECT_") == std::string::npos &&
         line.find("ASSERT_") == std::string::npos &&
         std::regex_search(line, FloatEqRe())) {
-      emit(static_cast<int>(i), "slacker-float-eq",
+      Emit(file, static_cast<int>(i), "slacker-float-eq",
            "exact floating-point comparison against a literal; use a "
-           "tolerance or NOLINT a deliberate sweep-point check");
+           "tolerance or NOLINT a deliberate sweep-point check",
+           out);
     }
 
     if (in_obs) {
@@ -350,10 +422,11 @@ void Linter::LintFile(const FileEntry& file,
             "for\\s*\\([^;:]*:\\s*" + name + "\\s*\\)|" + name +
             "\\s*\\.\\s*begin\\s*\\(");
         if (std::regex_search(line, iter_re)) {
-          emit(static_cast<int>(i), "slacker-unordered-iter",
+          Emit(file, static_cast<int>(i), "slacker-unordered-iter",
                "iteration over std::unordered container '" + name +
                    "' in the byte-stable exporter layer; iterate a "
-                   "deterministically ordered structure instead");
+                   "deterministically ordered structure instead",
+               out);
         }
       }
     }
@@ -378,17 +451,241 @@ void Linter::LintFile(const FileEntry& file,
           break;
         }
         if (!continuation) {
-          emit(static_cast<int>(i), "slacker-dropped-status",
+          Emit(file, static_cast<int>(i), "slacker-dropped-status",
                "result of Status/Result-returning call '" + name +
                    "' is dropped; handle it, or cast to (void) with a "
-                   "comment explaining why ignoring is safe");
+                   "comment explaining why ignoring is safe",
+               out);
         }
       }
     }
   }
 }
 
-int AddPath(Linter* linter, const std::string& path) {
+void Linter::LintFlow(const FileEntry& file, std::vector<Finding>* out) {
+  struct Local {
+    std::string name;
+    int line = 0;  // 0-based decl line.
+    bool used = false;
+  };
+  struct Scope {
+    char kind = 'c';  // 'c' code, 't' type, 'n' namespace, 's' switch,
+                      // 'i' initializer list.
+    std::vector<Local> locals;
+    std::string switch_enum;  // 's' only: project enum in a case label.
+    int default_line = -1;    // 's' only: 0-based `default:` line.
+  };
+  std::vector<Scope> stack;
+  std::string stmt;
+  int stmt_line = -1;
+
+  const auto top_kind = [&]() -> char {
+    return stack.empty() ? 'n' : stack.back().kind;
+  };
+
+  // Any tracked local mentioned in `text` (other than `skip`) is used.
+  const auto mark_uses = [&](const std::string& text,
+                             const std::string& skip) {
+    for (Scope& scope : stack) {
+      for (Local& local : scope.locals) {
+        if (local.used || local.name == skip) continue;
+        if (ContainsWord(text, local.name)) local.used = true;
+      }
+    }
+  };
+
+  const auto find_local = [&](const std::string& name) -> Local* {
+    for (auto scope = stack.rbegin(); scope != stack.rend(); ++scope) {
+      for (Local& local : scope->locals) {
+        if (local.name == name) return &local;
+      }
+    }
+    return nullptr;
+  };
+
+  // Processes the accumulated statement text when it is terminated by
+  // `;` (complete statement) or consumed by `{` (block header).
+  const auto flush_stmt = [&](char delimiter) {
+    const std::string text = Trim(stmt);
+    stmt.clear();
+    const int line = stmt_line;
+    stmt_line = -1;
+    if (text.empty() || line < 0) return;
+
+    const char kind = top_kind();
+    std::smatch m;
+    if (kind == 'c' || kind == 's') {
+      if (delimiter == ';' && std::regex_search(text, m, StatusLocalRe())) {
+        // New tracked local; its initializer may use other locals.
+        mark_uses(text, m[1].str());
+        stack.back().locals.push_back({m[1].str(), line, false});
+        return;
+      }
+      if (std::regex_match(text, m, ReassignRe()) &&
+          find_local(m[1].str()) != nullptr) {
+        // Plain overwrite: reads nothing from the LHS. The RHS still
+        // counts as a use of anything it mentions (including the LHS
+        // local itself, e.g. `s = Wrap(s)`).
+        mark_uses(m[2].str(), "");
+        return;
+      }
+      mark_uses(text, "");
+      if (kind == 's') {
+        Scope& sw = stack.back();
+        if (std::regex_search(text, m, std::regex(R"((^|[^\w])case\s)"))) {
+          std::string rest = text;
+          while (std::regex_search(rest, m, std::regex(R"((\w+)\s*::)"))) {
+            if (std::binary_search(enum_names_.begin(), enum_names_.end(),
+                                   m[1].str())) {
+              sw.switch_enum = m[1].str();
+              break;
+            }
+            rest = m.suffix();
+          }
+        }
+        if (std::regex_search(text, std::regex(R"((^|[^\w])default\s*:)"))) {
+          sw.default_line = line;
+        }
+      }
+    } else {
+      // Type/namespace/initializer scope: nothing tracked, but a
+      // statement can still mention a local (default member init never
+      // can, yet lambdas inside initializers can).
+      mark_uses(text, "");
+    }
+  };
+
+  const auto classify_open = [&](const std::string& header) -> char {
+    const std::string text = Trim(header);
+    if (text.empty()) return top_kind() == 'i' ? 'i' : 'c';
+    if (std::regex_search(
+            text, std::regex(R"((^|[\s;{}])(class|struct|union|enum)\b)")) &&
+        text.find('(') == std::string::npos) {
+      return 't';
+    }
+    if (std::regex_search(text, std::regex(R"((^|[\s;{}])namespace\b)"))) {
+      return 'n';
+    }
+    if (std::regex_search(text, std::regex(R"((^|[\s;{}])switch\s*\()"))) {
+      return 's';
+    }
+    const char last = text[text.size() - 1];
+    if (last == '=' || last == ',' || last == '(') return 'i';
+    return 'c';
+  };
+
+  const auto close_scope = [&]() {
+    if (stack.empty()) return;
+    const Scope scope = stack.back();
+    stack.pop_back();
+    for (const Local& local : scope.locals) {
+      if (local.used) continue;
+      Emit(file, local.line, "slacker-dropped-status",
+           "'" + local.name +
+               "' holds a Status/Result that is never branched on, "
+               "returned, or passed on before scope exit; handle it or "
+               "annotate the deliberate drop",
+           out);
+    }
+    if (scope.kind == 's' && !scope.switch_enum.empty() &&
+        scope.default_line >= 0) {
+      Emit(file, scope.default_line, "slacker-default-switch",
+           "default: arm in a switch over project enum '" +
+               scope.switch_enum +
+               "' silently swallows new enumerators; enumerate the "
+               "remaining cases (-Wswitch then flags additions) or "
+               "NOLINT with a reason",
+           out);
+    }
+  };
+
+  bool in_preprocessor = false;
+  for (size_t i = 0; i < file.masked.size(); ++i) {
+    const std::string& line = file.masked[i];
+    // Preprocessor lines (and their backslash continuations) follow
+    // different brace rules — skip them entirely.
+    const std::string trimmed = Trim(line);
+    const bool continues = !trimmed.empty() && trimmed.back() == '\\';
+    if (in_preprocessor) {
+      in_preprocessor = continues;
+      continue;
+    }
+    if (!trimmed.empty() && trimmed[0] == '#') {
+      in_preprocessor = continues;
+      continue;
+    }
+
+    for (const char c : line) {
+      if (c == '{') {
+        const char kind = classify_open(stmt);
+        flush_stmt('{');
+        stack.push_back(Scope{kind, {}, "", -1});
+      } else if (c == '}') {
+        flush_stmt('}');
+        close_scope();
+      } else if (c == ';') {
+        flush_stmt(';');
+      } else {
+        if (stmt_line < 0 && !std::isspace(static_cast<unsigned char>(c))) {
+          stmt_line = static_cast<int>(i);
+        }
+        stmt += c;
+      }
+    }
+    stmt += ' ';  // Line break separates tokens.
+  }
+  // Unbalanced braces at EOF: close what remains so decls still report.
+  flush_stmt(';');
+  while (!stack.empty()) close_scope();
+}
+
+void Linter::LintUnusedNolint(const FileEntry& file,
+                              std::vector<Finding>* out) const {
+  std::smatch m;
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string& raw = file.raw[i];
+    if (raw.find("NOLINT") == std::string::npos) continue;
+    if (!std::regex_search(raw, m, NolintMarkerRe())) continue;
+
+    std::string label = "NOLINT";
+    if (m[1].matched) {
+      // Listed rules: only markers claiming at least one slacker-*
+      // rule are ours to police (clang-tidy names are someone else's).
+      const std::string list = m[2].str();
+      bool any_slacker = false;
+      bool keep = false;
+      std::string::size_type start = 0;
+      while (start <= list.size()) {
+        const auto comma = list.find(',', start);
+        const std::string entry = Trim(
+            comma == std::string::npos ? list.substr(start)
+                                       : list.substr(start, comma - start));
+        if (entry.rfind("slacker-", 0) == 0) any_slacker = true;
+        if (entry == "slacker-unused-nolint") keep = true;
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (!any_slacker || keep) continue;
+      label = "NOLINT(" + list + ")";
+    }
+    if (suppressions_used_.count({file.path, static_cast<int>(i) + 1}) !=
+        0) {
+      continue;
+    }
+    // Deliberately not routed through Emit(): a bare NOLINT would
+    // suppress its own staleness finding.
+    Finding f;
+    f.path = file.path;
+    f.line = static_cast<int>(i) + 1;
+    f.rule = "slacker-unused-nolint";
+    f.message = label +
+                " suppressed nothing in this run; delete the stale "
+                "marker (clang-tidy suppressions must name their check)";
+    out->push_back(std::move(f));
+  }
+}
+
+int AddPath(Linter* linter, const std::string& path, LayerAnalyzer* also) {
   namespace fs = std::filesystem;
   std::error_code ec;
   const fs::file_status st = fs::status(path, ec);
@@ -402,6 +699,7 @@ int AddPath(Linter* linter, const std::string& path) {
     std::ostringstream buf;
     buf << in.rdbuf();
     linter->AddFile(p.generic_string(), buf.str());
+    if (also != nullptr) also->AddFile(p.generic_string(), buf.str());
     return 1;
   };
 

@@ -1,12 +1,14 @@
 #ifndef SLACKER_TOOLS_SLACKER_LINT_LINT_H_
 #define SLACKER_TOOLS_SLACKER_LINT_LINT_H_
 
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace slacker::lint {
 
-/// One determinism-rule violation at a specific source line.
+/// One rule violation at a specific source line.
 struct Finding {
   std::string path;
   int line = 0;          // 1-based.
@@ -34,27 +36,60 @@ struct Finding {
 ///                           exact float equality is usually a latent
 ///                           tolerance bug (annotate deliberate
 ///                           sweep-point comparisons with NOLINT).
-///   slacker-dropped-status  a call to a Status/Result-returning function
-///                           in statement position — the error is
-///                           silently dropped (mirrors [[nodiscard]] for
-///                           builds that swallow the warning).
+///   slacker-dropped-status  a Status/Result that is silently dropped:
+///                           either a call to a Status/Result-returning
+///                           function in statement position, or a local
+///                           `Status s = ...` that is never branched-on,
+///                           returned, moved, passed on, or
+///                           (void)-annotated before its scope exits
+///                           (intra-function flow tracking).
 ///   slacker-wire-decode     reinterpret_cast or raw memcpy outside
 ///                           src/codec, src/net and src/common — wire
 ///                           bytes must be decoded through the
 ///                           CRC-checked frame layer, not reinterpreted
 ///                           in place.
+///   slacker-default-switch  a `default:` arm in a switch over a project
+///                           enum — it would silently swallow a new
+///                           enumerator; enumerate the cases instead so
+///                           -Wswitch (CI: -Werror) flags additions.
+///   slacker-unused-nolint   a NOLINT marker that no longer suppresses
+///                           any finding — stale markers hide future
+///                           regressions and must be deleted.
+///
+/// The layering rules (slacker-layering, slacker-unknown-module,
+/// slacker-include-cycle, slacker-module-cycle) are documented in
+/// layering.h.
 ///
 /// Suppression: a line containing `// NOLINT` suppresses every rule on
 /// that line; `// NOLINT(rule-a, rule-b)` suppresses only those rules.
 
-/// Two-pass linter. AddFile() all translation units first (pass 1 builds
-/// the cross-file symbol table for slacker-dropped-status), then Run().
+/// Replaces the bodies of string literals, char literals and comments
+/// with spaces (newlines preserved) so rule regexes never match inside
+/// quoted text. Raw strings are handled with the default `R"("`
+/// delimiter only — enough for this tree.
+std::string MaskCommentsAndStrings(const std::string& in);
+
+/// True if `raw_line` carries a NOLINT marker that suppresses `rule`:
+/// a bare NOLINT suppresses everything; NOLINT(a, b) suppresses only
+/// the named rules.
+bool IsSuppressed(const std::string& raw_line, const std::string& rule);
+
+/// Two-pass linter. AddFile() all translation units first (pass 1
+/// builds the cross-file symbol tables: Status/Result-returning
+/// function names for slacker-dropped-status, project enum names for
+/// slacker-default-switch), then Run().
 class Linter {
  public:
   /// Registers a file's content for linting. `path` is used verbatim in
   /// findings and for path-scoped rules (src/common/random exemption,
   /// src/obs/ scoping).
   void AddFile(const std::string& path, const std::string& content);
+
+  /// Records a suppression exercised by another pass at (path, line)
+  /// — the layering analyzer shares the NOLINT escape hatch — so
+  /// slacker-unused-nolint does not flag that marker. Call before
+  /// Run().
+  void NoteSuppressionUsed(const std::string& path, int line);
 
   /// Lints every added file; findings are ordered by (path, line).
   std::vector<Finding> Run();
@@ -66,8 +101,19 @@ class Linter {
     std::vector<std::string> masked;  // Comments/strings blanked out.
   };
 
-  void CollectStatusNames(const FileEntry& file);
-  void LintFile(const FileEntry& file, std::vector<Finding>* out) const;
+  void CollectDeclarations(const FileEntry& file);
+  void LintFile(const FileEntry& file, std::vector<Finding>* out);
+  /// Intra-function passes: dropped Status/Result locals and
+  /// default-swallowed enum switches (scope-tracking scan).
+  void LintFlow(const FileEntry& file, std::vector<Finding>* out);
+  /// Flags NOLINT markers (bare, or naming only slacker-* rules) that
+  /// suppressed nothing this run. Runs after every other pass.
+  void LintUnusedNolint(const FileEntry& file,
+                        std::vector<Finding>* out) const;
+  /// Emits unless the raw line suppresses `rule`; a suppressed finding
+  /// is recorded for the unused-NOLINT pass instead.
+  void Emit(const FileEntry& file, int line_index, const char* rule,
+            std::string message, std::vector<Finding>* out);
 
   std::vector<FileEntry> files_;
   // Function names declared (somewhere in the scanned set) with a
@@ -76,12 +122,21 @@ class Linter {
   // ...and names also declared with a different return type; such
   // ambiguous names are dropped from the statement-position rule.
   std::vector<std::string> other_names_;
+  // Named enums declared anywhere in the scanned set ("project enums").
+  std::vector<std::string> enum_names_;
+  // (path, 1-based line) pairs where a NOLINT marker suppressed a
+  // finding during this run (or an external pass, via
+  // NoteSuppressionUsed).
+  std::set<std::pair<std::string, int>> suppressions_used_;
 };
 
 /// Reads `path` (recursively, for directories) and adds every *.h,
-/// *.cc, *.cpp file to `linter`. Returns the number of files added; -1
-/// if `path` does not exist.
-int AddPath(Linter* linter, const std::string& path);
+/// *.cc, *.cpp file to `linter` and, when non-null, to `also` (the
+/// layering analyzer — any type with a compatible AddFile). Returns
+/// the number of files added; -1 if `path` does not exist.
+class LayerAnalyzer;
+int AddPath(Linter* linter, const std::string& path,
+            LayerAnalyzer* also = nullptr);
 
 /// Findings as a deterministic machine-readable JSON array.
 std::string FindingsToJson(const std::vector<Finding>& findings);

@@ -38,6 +38,7 @@ TEST(SlackerLintTest, ViolationsFixtureProducesExactFindings) {
       {22, "slacker-float-eq"},       {23, "slacker-float-eq"},
       {31, "slacker-unordered-iter"}, {33, "slacker-unordered-iter"},
       {37, "slacker-dropped-status"}, {38, "slacker-dropped-status"},
+      {41, "slacker-dropped-status"},  // flow: local never consumed.
       {46, "slacker-wire-decode"},    {47, "slacker-wire-decode"},
   };
   ASSERT_EQ(findings.size(), expected.size())
@@ -133,6 +134,141 @@ TEST(SlackerLintTest, ContinuationLinesAreNotStatementPosition) {
                  "          Baz(2));\n"
                  "}\n");
   EXPECT_TRUE(linter.Run().empty()) << FindingsToText(linter.Run());
+}
+
+TEST(SlackerLintTest, FlowDroppedLocalIsFlaggedAtDeclaration) {
+  Linter linter;
+  linter.AddFile("src/c.cc",
+                 "Status Fetch();\n"
+                 "void F() {\n"
+                 "  Status s = Fetch();\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u) << FindingsToText(findings);
+  EXPECT_EQ(findings[0].rule, "slacker-dropped-status");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(SlackerLintTest, FlowConsumedLocalsAreQuiet) {
+  // Branch, return, (void), pass-as-argument, and reassignment-with-
+  // self-use each count as consumption.
+  Linter linter;
+  linter.AddFile("src/c.cc",
+                 "Status Fetch();\n"
+                 "void Sink(Status s);\n"
+                 "Status G() {\n"
+                 "  Status a = Fetch();\n"
+                 "  if (!a.ok()) return a;\n"
+                 "  Status b = Fetch();\n"
+                 "  (void)b;\n"
+                 "  Status c = Fetch();\n"
+                 "  Sink(std::move(c));\n"
+                 "  Status d = Fetch();\n"
+                 "  d = Wrap(d);\n"
+                 "  return d;\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty()) << FindingsToText(linter.Run());
+}
+
+TEST(SlackerLintTest, FlowPlainOverwriteIsNotConsumption) {
+  // `t` is assigned twice and never read: both values are dropped.
+  Linter linter;
+  linter.AddFile("src/c.cc",
+                 "Status Fetch();\n"
+                 "void F() {\n"
+                 "  Status t = Fetch();\n"
+                 "  t = Fetch();\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u) << FindingsToText(findings);
+  EXPECT_EQ(findings[0].rule, "slacker-dropped-status");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(SlackerLintTest, DefaultSwitchOverProjectEnumIsFlagged) {
+  Linter linter;
+  linter.AddFile("src/a.h", "enum class Kind { kA, kB };\n");
+  linter.AddFile("src/c.cc",
+                 "void F(Kind k) {\n"
+                 "  switch (k) {\n"
+                 "    case Kind::kA:\n"
+                 "      break;\n"
+                 "    default:\n"
+                 "      break;\n"
+                 "  }\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u) << FindingsToText(findings);
+  EXPECT_EQ(findings[0].rule, "slacker-default-switch");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(SlackerLintTest, DefaultSwitchOverNonEnumOrSuppressedIsQuiet) {
+  Linter linter;
+  linter.AddFile("src/a.h", "enum class Kind { kA, kB };\n");
+  linter.AddFile("src/c.cc",
+                 "void F(int x, Kind k) {\n"
+                 "  switch (x) {\n"
+                 "    case 1:\n"
+                 "      break;\n"
+                 "    default:\n"
+                 "      break;\n"
+                 "  }\n"
+                 "  switch (k) {\n"
+                 "    case Kind::kA:\n"
+                 "      break;\n"
+                 "    default:  // NOLINT(slacker-default-switch): wire enum.\n"
+                 "      break;\n"
+                 "  }\n"
+                 "}\n");
+  EXPECT_TRUE(linter.Run().empty()) << FindingsToText(linter.Run());
+}
+
+TEST(SlackerLintTest, UnusedNolintMarkersAreFlagged) {
+  Linter linter;
+  linter.AddFile("src/c.cc",
+                 "void F() {\n"
+                 "  int x = 0;  // NOLINT\n"
+                 "  int y = 0;  // NOLINT(slacker-wallclock)\n"
+                 "  (void)x;\n"
+                 "  (void)y;\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 2u) << FindingsToText(findings);
+  EXPECT_EQ(findings[0].rule, "slacker-unused-nolint");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].rule, "slacker-unused-nolint");
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(SlackerLintTest, ForeignAndExercisedNolintMarkersAreQuiet) {
+  Linter linter;
+  linter.AddFile("src/c.cc",
+                 // Exercised: float-eq actually fires on this line.
+                 "bool F(double v) { return v == 1.5; }"
+                 "  // NOLINT(slacker-float-eq): sweep point.\n"
+                 // Foreign: clang-tidy's business, not ours.
+                 "int g(int x) { return x; }  // NOLINT(bugprone-foo)\n");
+  EXPECT_TRUE(linter.Run().empty()) << FindingsToText(linter.Run());
+}
+
+TEST(SlackerLintTest, NoteSuppressionUsedProtectsMarker) {
+  // A marker exercised by an external pass (the layering analyzer)
+  // must not be reported stale.
+  Linter linter;
+  linter.AddFile("src/c.cc",
+                 "int a;  // NOLINT(slacker-layering): fixture.\n");
+  const auto stale = [&] {
+    Linter fresh;
+    fresh.AddFile("src/c.cc",
+                  "int a;  // NOLINT(slacker-layering): fixture.\n");
+    return fresh.Run();
+  }();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "slacker-unused-nolint");
+
+  linter.NoteSuppressionUsed("src/c.cc", 1);
+  EXPECT_TRUE(linter.Run().empty());
 }
 
 TEST(SlackerLintTest, JsonReportIsStableAndEscaped) {

@@ -1,0 +1,5 @@
+// Fixture: a.h <-> b.h form a file-level include cycle.
+#ifndef FIXTURE_NET_A_H_
+#define FIXTURE_NET_A_H_
+#include "src/net/b.h"
+#endif

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_NET_B_H_
+#define FIXTURE_NET_B_H_
+#include "src/net/a.h"
+#endif

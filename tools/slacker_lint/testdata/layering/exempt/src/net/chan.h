@@ -1,0 +1,6 @@
+// Fixture: net -> resource is lateral but carried by an allow entry in
+// layers.json, so the analyzer must stay quiet about it.
+#ifndef FIXTURE_NET_CHAN_H_
+#define FIXTURE_NET_CHAN_H_
+#include "src/resource/link.h"
+#endif

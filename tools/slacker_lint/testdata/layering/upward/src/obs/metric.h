@@ -1,0 +1,4 @@
+// Fixture: a layer-2 header a layer-1 module wrongly reaches up for.
+#ifndef FIXTURE_OBS_METRIC_H_
+#define FIXTURE_OBS_METRIC_H_
+#endif

@@ -1,0 +1,6 @@
+// Fixture: resource (layer 1) including obs (layer 2) is an upward
+// violation the analyzer must flag.
+#ifndef FIXTURE_RESOURCE_DISK_H_
+#define FIXTURE_RESOURCE_DISK_H_
+#include "src/obs/metric.h"
+#endif
