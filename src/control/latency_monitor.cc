@@ -12,14 +12,14 @@ LatencyMonitor::LatencyMonitor(SimTime window) : window_(window) {}
 void LatencyMonitor::PruneExpired(SimTime now) {
   // Same half-open (now - window, now] convention as
   // SlidingWindowMean::Evict: a sample exactly `window` old is out.
-  while (!samples_.empty() && samples_.front().first <= now - window()) {
+  while (!samples_.empty() && samples_.front().time <= now - window()) {
     samples_.pop_front();
   }
 }
 
 void LatencyMonitor::Record(SimTime now, double latency_ms) {
   window_.Add(now, latency_ms);
-  samples_.emplace_back(now, latency_ms);
+  samples_.push_back({now, latency_ms});
   PruneExpired(now);
   ++total_recorded_;
   // Keep the "last known average" fresh even if nobody polls between
@@ -62,9 +62,13 @@ bool LatencyMonitor::WithinGuardBand(SimTime now, double setpoint_ms,
 double LatencyMonitor::WindowPercentileMs(SimTime now, double percentile) {
   PruneExpired(now);
   if (samples_.empty()) return WindowAverageMs(now);
-  std::vector<double> values;
+  // Reuse the scratch buffer across ticks; clear() keeps capacity.
+  std::vector<double>& values = percentile_scratch_;
+  values.clear();
   values.reserve(samples_.size());
-  for (const auto& [t, v] : samples_) values.push_back(v);
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    values.push_back(samples_[i].latency_ms);
+  }
   if (percentile <= 0.0) {
     return *std::min_element(values.begin(), values.end());
   }

@@ -2,9 +2,9 @@
 #define SLACKER_CONTROL_LATENCY_MONITOR_H_
 
 #include <functional>
+#include <vector>
 
-#include <deque>
-
+#include "src/common/ring_deque.h"
 #include "src/common/stats.h"
 #include "src/common/units.h"
 
@@ -57,9 +57,21 @@ class LatencyMonitor {
   /// by both the mean and the percentile paths.
   void PruneExpired(SimTime now);
 
+  struct Sample {
+    SimTime time;
+    double latency_ms;
+  };
+
   SlidingWindowMean window_;
-  // Parallel record of (time, latency) for percentile queries.
-  std::deque<std::pair<SimTime, double>> samples_;
+  // Parallel record of (time, latency) for percentile queries, kept in
+  // a flat ring so the per-completion eviction scan stays in one cache
+  // run and never allocates.
+  RingDeque<Sample> samples_;
+  // Persistent scratch for WindowPercentileMs: the selection needs a
+  // mutable copy of the window's values, and reallocating it every
+  // controller tick (once per server per second at fig14 scale) was
+  // pure churn. Grows to the window high-water mark once.
+  std::vector<double> percentile_scratch_;
   std::function<double(SimTime)> probe_;
   double last_average_ = 0.0;
   uint64_t total_recorded_ = 0;

@@ -1,0 +1,120 @@
+#ifndef SLACKER_SIM_CALLBACK_H_
+#define SLACKER_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace slacker::sim {
+
+/// Move-only type-erased `void()` callable with small-buffer storage.
+///
+/// The event queue schedules millions of closures per simulated run;
+/// `std::function` heap-allocates any capture larger than its tiny
+/// internal buffer (16 bytes on common ABIs), which makes every
+/// Schedule() an allocation on the simulator hot path. Callback keeps
+/// kInlineBytes of inline storage — enough for the `[this, done]`
+/// shapes the model code actually schedules — and only falls back to
+/// the heap for oversized or over-aligned captures, so the common case
+/// never allocates. Unlike std::function it is move-only, so move-only
+/// captures are also accepted.
+class Callback {
+ public:
+  /// Captures up to this size (and alignof <= kInlineAlign) are stored
+  /// inline; larger ones take one heap allocation. Sized so an event
+  /// node (src/sim/event_queue.h) stays under two cache lines.
+  static constexpr size_t kInlineBytes = 40;
+  static constexpr size_t kInlineAlign = alignof(void*);
+
+  Callback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Callback(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= kInlineAlign) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &InlineModel<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &HeapModel<D>::kOps;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { MoveFrom(std::move(other)); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { Reset(); }
+
+  /// Drops the held callable (if any).
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs the callable from `src` into `dst`, then
+    /// destroys the `src` copy. Used by the move constructor (and thus
+    /// by event-pool growth, which relocates nodes).
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  struct InlineModel {
+    static void Invoke(void* s) { (*std::launder(static_cast<D*>(s)))(); }
+    static void Relocate(void* src, void* dst) {
+      D* f = std::launder(static_cast<D*>(src));
+      ::new (dst) D(std::move(*f));
+      f->~D();
+    }
+    static void Destroy(void* s) { std::launder(static_cast<D*>(s))->~D(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapModel {
+    static D* Held(void* s) { return *std::launder(static_cast<D**>(s)); }
+    static void Invoke(void* s) { (*Held(s))(); }
+    static void Relocate(void* src, void* dst) { ::new (dst) D*(Held(src)); }
+    static void Destroy(void* s) { delete Held(s); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(Callback&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace slacker::sim
+
+#endif  // SLACKER_SIM_CALLBACK_H_

@@ -5,18 +5,20 @@
 
 namespace slacker::sim {
 
-EventId Simulator::After(SimTime delay, std::function<void()> fn) {
+EventId Simulator::After(SimTime delay, Callback fn) {
   return At(now_ + std::max(delay, 0.0), std::move(fn));
 }
 
-EventId Simulator::At(SimTime when, std::function<void()> fn) {
+EventId Simulator::At(SimTime when, Callback fn) {
   return queue_.Schedule(std::max(when, now_), std::move(fn));
 }
 
 size_t Simulator::RunUntil(SimTime until) {
   size_t executed = 0;
-  while (!queue_.empty() && queue_.NextTime() <= until) {
-    now_ = queue_.NextTime();
+  while (!queue_.empty()) {
+    const SimTime next = queue_.NextTime();
+    if (next > until) break;
+    now_ = next;
     queue_.RunNext();
     ++executed;
   }
@@ -45,6 +47,8 @@ PeriodicTimer::~PeriodicTimer() { Stop(); }
 void PeriodicTimer::Start() {
   if (running_) return;
   running_ = true;
+  anchor_ = sim_->Now();
+  ticks_ = 0;
   Arm();
 }
 
@@ -58,8 +62,14 @@ void PeriodicTimer::Stop() {
 }
 
 void PeriodicTimer::Arm() {
-  pending_ = sim_->After(period_, [this] {
+  // Anchored re-arm: firing n is at anchor + n * period exactly (one
+  // rounded multiply), never at "previous firing + period" (n rounded
+  // additions, whose error grows with n).
+  const SimTime next =
+      anchor_ + static_cast<double>(ticks_ + 1) * period_;
+  pending_ = sim_->At(next, [this] {
     pending_ = 0;
+    ++ticks_;
     if (!running_) return;
     fn_(sim_->Now());
     if (running_) Arm();

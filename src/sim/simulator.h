@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "src/sim/callback.h"
 #include "src/sim/event_queue.h"
 
 namespace slacker::sim {
@@ -22,17 +23,26 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0;
-  /// negative delays are clamped to 0, i.e., "run next").
-  EventId After(SimTime delay, std::function<void()> fn);
+  /// negative delays are clamped to 0, i.e., "run next"). `fn` is any
+  /// void() callable; captures up to Callback::kInlineBytes are stored
+  /// without allocating.
+  EventId After(SimTime delay, Callback fn);
 
   /// Schedules `fn` at absolute time `when` (clamped to Now()).
-  EventId At(SimTime when, std::function<void()> fn);
+  EventId At(SimTime when, Callback fn);
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
   /// Runs events until the queue is empty or the clock passes `until`.
-  /// Events scheduled exactly at `until` do run. Returns the number of
-  /// events executed.
+  ///
+  /// Boundary contract: events with time exactly `until` run in *this*
+  /// call — including events scheduled at `until` by callbacks that
+  /// are themselves running at `until` (the loop re-consults the queue
+  /// after every callback, so a re-entrantly scheduled horizon event
+  /// can neither be skipped nor deferred to the next call, and each
+  /// runs exactly once). On return Now() == max(Now(), until) even if
+  /// the queue drained early, so repeated calls observe monotonically
+  /// increasing time. Returns the number of events executed.
   size_t RunUntil(SimTime until);
 
   /// Runs until the queue is empty (use only when the model is known to
@@ -50,6 +60,15 @@ class Simulator {
 /// Fires a callback every `period` seconds until stopped or the owner
 /// is destroyed. The controller tick (1 s) and time-series samplers are
 /// built on this.
+///
+/// Firing times are anchored: the n-th firing after Start() is at
+/// exactly `start + n * period`, computed from the anchor each time
+/// rather than by adding `period` to the previous firing. Re-arming
+/// with `now + period` accumulates one rounding error per tick, which
+/// desynchronizes long-horizon samplers from the controller tick by
+/// whole ticks at fig14 horizons; the anchored form's error stays one
+/// multiplication's rounding regardless of tick count. Stop()+Start()
+/// re-anchors at the current time.
 class PeriodicTimer {
  public:
   /// `fn` receives the firing time. The first firing is at
@@ -73,6 +92,8 @@ class PeriodicTimer {
   std::function<void(SimTime)> fn_;
   EventId pending_ = 0;
   bool running_ = false;
+  SimTime anchor_ = 0.0;
+  uint64_t ticks_ = 0;  // Firings completed since the last Start().
 };
 
 }  // namespace slacker::sim

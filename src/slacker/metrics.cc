@@ -9,6 +9,7 @@ namespace slacker {
 ClusterMetrics CollectMetrics(Cluster* cluster) {
   ClusterMetrics metrics;
   metrics.time = cluster->simulator()->Now();
+  metrics.servers.reserve(cluster->num_servers());
   for (size_t sid = 0; sid < cluster->num_servers(); ++sid) {
     Server* server = cluster->server(sid);
     ServerMetrics sm;
@@ -19,7 +20,9 @@ ClusterMetrics CollectMetrics(Cluster* cluster) {
     sm.disk_queue_depth = server->disk()->QueueDepth();
     sm.window_latency_ms =
         server->monitor()->WindowAverageMs(metrics.time);
-    for (uint64_t tenant_id : server->tenants()->TenantIds()) {
+    const std::vector<uint64_t> tenant_ids = server->tenants()->TenantIds();
+    sm.tenants.reserve(tenant_ids.size());
+    for (uint64_t tenant_id : tenant_ids) {
       engine::TenantDb* db = server->tenants()->Get(tenant_id);
       TenantMetrics tm;
       tm.tenant_id = tenant_id;
@@ -94,25 +97,40 @@ void MetricsCollector::Stop() { timer_.Stop(); }
 
 void MetricsCollector::PublishTo(obs::MetricRegistry* registry) {
   registry_ = registry;
+  // Handles belong to the old registry; re-resolve lazily in Sample.
+  server_gauges_.clear();
+  active_migrations_gauge_ = nullptr;
 }
 
 void MetricsCollector::Sample(SimTime /*now*/) {
   ClusterMetrics metrics = CollectMetrics(cluster_);
   if (registry_ != nullptr) {
     for (const ServerMetrics& s : metrics.servers) {
-      const std::string labels =
-          "server=" + std::to_string(s.server_id);
-      registry_->FindOrCreateGauge("disk_util", labels)
-          ->Set(s.disk_utilization);
-      registry_->FindOrCreateGauge("cpu_util", labels)
-          ->Set(s.cpu_utilization);
-      registry_->FindOrCreateGauge("disk_queue_depth", labels)
-          ->Set(static_cast<double>(s.disk_queue_depth));
-      registry_->FindOrCreateGauge("window_latency_ms", labels)
-          ->Set(s.window_latency_ms);
+      if (s.server_id >= server_gauges_.size()) {
+        server_gauges_.resize(s.server_id + 1);
+      }
+      ServerGauges& g = server_gauges_[s.server_id];
+      if (g.disk_util == nullptr) {
+        const std::string labels =
+            "server=" + std::to_string(s.server_id);
+        g.disk_util = registry_->FindOrCreateGauge("disk_util", labels);
+        g.cpu_util = registry_->FindOrCreateGauge("cpu_util", labels);
+        g.disk_queue_depth =
+            registry_->FindOrCreateGauge("disk_queue_depth", labels);
+        g.window_latency_ms =
+            registry_->FindOrCreateGauge("window_latency_ms", labels);
+      }
+      g.disk_util->Set(s.disk_utilization);
+      g.cpu_util->Set(s.cpu_utilization);
+      g.disk_queue_depth->Set(static_cast<double>(s.disk_queue_depth));
+      g.window_latency_ms->Set(s.window_latency_ms);
     }
-    registry_->FindOrCreateGauge("active_migrations")
-        ->Set(static_cast<double>(metrics.active_migrations));
+    if (active_migrations_gauge_ == nullptr) {
+      active_migrations_gauge_ =
+          registry_->FindOrCreateGauge("active_migrations");
+    }
+    active_migrations_gauge_->Set(
+        static_cast<double>(metrics.active_migrations));
     registry_->SampleSeries(metrics.time);
   }
   if (sink_) sink_(metrics);

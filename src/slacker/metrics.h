@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/obs/metric_registry.h"
 #include "src/slacker/cluster.h"
 
 namespace slacker {
@@ -79,12 +80,25 @@ class MetricsCollector {
  private:
   void Sample(SimTime now);
 
+  /// Cached handles for one server's published gauges. Registry handles
+  /// are stable for the registry's lifetime, so the name+label lookup
+  /// (string build + hash) runs once per server at attach, not once per
+  /// server per tick.
+  struct ServerGauges {
+    obs::Gauge* disk_util = nullptr;
+    obs::Gauge* cpu_util = nullptr;
+    obs::Gauge* disk_queue_depth = nullptr;
+    obs::Gauge* window_latency_ms = nullptr;
+  };
+
   Cluster* cluster_;
   Sink sink_;
   size_t max_history_;
   std::vector<ClusterMetrics> history_;
   sim::PeriodicTimer timer_;
   obs::MetricRegistry* registry_ = nullptr;
+  std::vector<ServerGauges> server_gauges_;
+  obs::Gauge* active_migrations_gauge_ = nullptr;
 };
 
 }  // namespace slacker

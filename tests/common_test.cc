@@ -5,10 +5,12 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/bytes.h"
 #include "src/common/checksum.h"
+#include "src/common/ring_deque.h"
 #include "src/common/histogram.h"
 #include "src/common/random.h"
 #include "src/common/stats.h"
@@ -295,6 +297,54 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_EQ(a.count(), all.count());
   EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
   EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+}
+
+TEST(RingDequeTest, FifoAcrossWrapAround) {
+  RingDeque<int> d;
+  // Interleave pushes and pops so head_ circles the buffer several
+  // times at a size below capacity — the wrap-around masking path.
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 7; ++i) d.push_back(next_in++);
+    while (d.size() > 3) {
+      EXPECT_EQ(d.front(), next_out++);
+      d.pop_front();
+    }
+  }
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], next_out);
+  EXPECT_EQ(d.back(), next_in - 1);
+}
+
+TEST(RingDequeTest, GrowthPreservesOrderWithOffsetHead) {
+  RingDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push_back(i);
+  for (int i = 0; i < 10; ++i) d.pop_front();
+  // head_ is now mid-buffer; force several capacity doublings.
+  for (int i = 0; i < 1000; ++i) d.push_back(i);
+  ASSERT_EQ(d.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(d[static_cast<size_t>(i)], i);
+}
+
+TEST(RingDequeTest, CapacityIsSticky) {
+  RingDeque<int> d;
+  for (int i = 0; i < 100; ++i) d.push_back(i);
+  const size_t high_water = d.capacity();
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.capacity(), high_water);  // No shrink: reach steady state once.
+  for (int i = 0; i < 100; ++i) d.push_back(i);
+  EXPECT_EQ(d.capacity(), high_water);
+}
+
+TEST(RingDequeTest, PopReleasesSlotResources) {
+  RingDeque<std::shared_ptr<int>> d;
+  auto p = std::make_shared<int>(7);
+  d.push_back(p);
+  EXPECT_EQ(p.use_count(), 2);
+  d.pop_front();
+  EXPECT_EQ(p.use_count(), 1);  // Slot must not pin the old value.
 }
 
 TEST(SlidingWindowMeanTest, EvictsOldSamples) {

@@ -1,10 +1,17 @@
 // Unit tests for the discrete-event simulator: event ordering,
-// cancellation, deterministic tie-breaking, and periodic timers.
+// cancellation, deterministic tie-breaking, periodic timers, the
+// timer-wheel internals (bucketing, cascades, cancel recycling), and
+// the small-buffer Callback type.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "src/common/random.h"
+#include "src/sim/binary_heap_queue.h"
+#include "src/sim/callback.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/simulator.h"
 
@@ -78,6 +85,198 @@ TEST(EventQueueTest, CallbackMaySchedule) {
   });
   while (!q.empty()) q.RunNext();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, SubQuantumOrderingWithinOneBucket) {
+  // Events closer together than the 1 ms wheel quantum share a bucket;
+  // their exact `when` doubles must still order them.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(1.0000009, [&] { order.push_back(3); });
+  q.Schedule(1.0000001, [&] { order.push_back(1); });
+  q.Schedule(1.0000005, [&] { order.push_back(2); });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, LevelBoundarySameTickEventsOrderByWhen) {
+  // Regression: a tick divisible by 64^l sits on a level-l slot
+  // boundary, so same-tick events can simultaneously occupy a level-0
+  // slot and a level-l slot with EQUAL bounds. EnsureReady must flush
+  // both into the ready heap before popping anything, or the exact
+  // (when, seq) tie-break is violated across the two slots.
+  //
+  // With a 1 ms quantum, tick 4096000 (= 64^2 * 1000) is such a
+  // boundary: t = 4096.0 s. Schedule the SMALLER-when event far ahead
+  // so it waits in a high wheel level, then have an event just before
+  // the boundary re-entrantly schedule a larger-when sibling into the
+  // same tick — that one lands in a level-0 slot whose bound equals the
+  // high-level slot's. Draining level 0 first and popping immediately
+  // (the old behavior) would run the larger `when` first.
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(4096.0001, [&] { order.push_back(1); });  // High level.
+  q.Schedule(4095.9999, [&] {
+    order.push_back(0);
+    q.Schedule(4096.0005, [&] { order.push_back(2); });  // Level 0.
+  });
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, FarFutureEventsCascadeDown) {
+  // Spread across every wheel level, including a jump past the whole
+  // wheel horizon (top-level parking + re-cascade path).
+  EventQueue q;
+  std::vector<double> times;
+  const std::vector<double> whens = {1e12,   5.0,    1e-6, 3600.0,
+                                     86400.0, 0.25,   7.5e5, 31.0,
+                                     2048.0,  4096.5};
+  for (double w : whens) {
+    q.Schedule(w, [&times, w] { times.push_back(w); });
+  }
+  while (!q.empty()) q.RunNext();
+  std::vector<double> sorted = whens;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(times, sorted);
+}
+
+TEST(EventQueueTest, RandomizedOrderMatchesSort) {
+  EventQueue q;
+  Rng rng(0xabcdef12);
+  std::vector<double> expect;
+  std::vector<double> got;
+  for (int i = 0; i < 200000; ++i) {
+    // Discrete grid so exact ties exercise the FIFO tie-break.
+    const double when = static_cast<double>(rng.NextBelow(50000)) * 0.01;
+    expect.push_back(when);
+    q.Schedule(when, [&got, when] { got.push_back(when); });
+  }
+  std::stable_sort(expect.begin(), expect.end());
+  double last = -1.0;
+  while (!q.empty()) {
+    const double t = q.NextTime();
+    EXPECT_GE(t, last);
+    last = t;
+    q.RunNext();
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EventQueueTest, CancelChurnFootprintBounded) {
+  // The defect this guards: the binary-heap queue accumulated one
+  // tombstone per cancel until the entry surfaced at the heap top, so
+  // cancel-heavy churn against far-future events (PeriodicTimer
+  // stop/start, supervisor quench storms) grew without bound. The
+  // wheel recycles the node at Cancel time: a million schedule/cancel
+  // round-trips must not retain more than a handful of pool slots.
+  EventQueue q;
+  for (int i = 0; i < 1000000; ++i) {
+    const EventId id =
+        q.Schedule(1e6 + static_cast<double>(i), [] {});
+    ASSERT_TRUE(q.Cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_LE(q.allocated_nodes(), 4u);
+  EXPECT_EQ(q.ready_tombstones(), 0u);
+
+  // Contrast with the retired baseline, which holds every tombstone.
+  BinaryHeapEventQueue heap;
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = heap.Schedule(1e6 + static_cast<double>(i), [] {});
+    heap.Cancel(id);
+  }
+  EXPECT_EQ(heap.tombstones(), 1000u);
+}
+
+TEST(EventQueueTest, CancelChurnAroundLiveEventsKeepsThem) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.Schedule(10.0 + i, [&] { ++fired; });
+  }
+  for (int i = 0; i < 100000; ++i) {
+    q.Cancel(q.Schedule(5000.0, [] {}));
+  }
+  EXPECT_EQ(q.size(), 100u);
+  EXPECT_LE(q.allocated_nodes(), 110u);
+  while (!q.empty()) q.RunNext();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(EventQueueTest, StaleIdFromRecycledSlotIsNoop) {
+  // A fired event's slot is recycled for the next Schedule; the old id
+  // must not cancel the new occupant (generation tags).
+  EventQueue q;
+  bool first = false;
+  bool second = false;
+  const EventId id1 = q.Schedule(1.0, [&] { first = true; });
+  q.RunNext();
+  const EventId id2 = q.Schedule(2.0, [&] { second = true; });
+  EXPECT_FALSE(q.Cancel(id1));  // Stale: same slot, new generation.
+  EXPECT_EQ(q.size(), 1u);
+  q.RunNext();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(q.Cancel(id2));
+}
+
+TEST(EventQueueTest, CancelDueEventBeforeRunIsHonored) {
+  // Cancelling an event that is already in the due bucket (its time
+  // has been reached by NextTime) must still prevent execution.
+  EventQueue q;
+  bool a = false;
+  bool b = false;
+  const EventId id = q.Schedule(1.0, [&] { a = true; });
+  q.Schedule(1.0, [&] { b = true; });
+  EXPECT_DOUBLE_EQ(q.NextTime(), 1.0);  // Forces the bucket ready.
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  q.RunNext();
+  EXPECT_FALSE(a);
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CallbackTest, InlineCaptureRuns) {
+  int x = 0;
+  Callback cb([&x] { x = 7; });
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(CallbackTest, OversizedCaptureFallsBackToHeap) {
+  // Larger than Callback::kInlineBytes: takes the (single) heap
+  // allocation path but must behave identically.
+  struct Big {
+    double pad[16];
+  };
+  Big big{};
+  big.pad[15] = 42.0;
+  double seen = 0.0;
+  Callback cb([big, &seen] { seen = big.pad[15]; });
+  cb();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(CallbackTest, MoveOnlyCaptureAccepted) {
+  // std::function rejects move-only captures; Callback accepts them,
+  // so completions can own their payloads.
+  auto owned = std::make_unique<int>(5);
+  int seen = 0;
+  Callback cb([owned = std::move(owned), &seen] { seen = *owned; });
+  cb();
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(CallbackTest, MoveTransfersOwnership) {
+  int runs = 0;
+  Callback a([&runs] { ++runs; });
+  Callback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(runs, 1);
 }
 
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
@@ -187,6 +386,89 @@ TEST(PeriodicTimerTest, RestartAfterStop) {
   timer.Start();
   sim.RunUntil(4.0);
   EXPECT_EQ(fires, 3);  // t=1, 2, then restarted at 2.5 -> fires 3.5.
+}
+
+TEST(SimulatorTest, ReentrantScheduleAtHorizonRunsThisCall) {
+  // Boundary contract: an event scheduled *by a callback running at
+  // `until`* with time exactly `until` still runs in this RunUntil
+  // call, exactly once.
+  Simulator sim;
+  int fired = 0;
+  sim.After(3.0, [&] {
+    ++fired;
+    sim.At(3.0, [&] { ++fired; });
+  });
+  EXPECT_EQ(sim.RunUntil(3.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  // Not deferred into the next call (would be a double-run if the
+  // first call also ran it).
+  EXPECT_EQ(sim.RunUntil(3.0), 0u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ChainedHorizonSchedulingRunsToFixpoint) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) sim.At(2.0, chain);
+  };
+  sim.At(2.0, chain);
+  EXPECT_EQ(sim.RunUntil(2.0), 5u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(SimulatorTest, ReentrantSchedulePastHorizonDefers) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(3.0, [&] {
+    ++fired;
+    sim.At(3.0 + 1e-9, [&] { ++fired; });
+  });
+  EXPECT_EQ(sim.RunUntil(3.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.RunUntil(4.0), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTimerTest, NoPhaseDriftOverTenMillionTicks) {
+  // Anchored re-arm: the n-th firing is exactly anchor + n * period as
+  // a double, even for a period (0.1) with no exact binary
+  // representation. The old "now + period" re-arm accumulated one
+  // rounding error per tick and drifted off the grid at fig14
+  // horizons.
+  Simulator sim;
+  const double period = 0.1;
+  const uint64_t kTicks = 10000000;
+  uint64_t fires = 0;
+  double last_fire = -1.0;
+  bool on_grid = true;
+  PeriodicTimer timer(&sim, period, [&](SimTime t) {
+    ++fires;
+    last_fire = t;
+    // Exact double equality is the point of the test.
+    if (t != static_cast<double>(fires) * period) on_grid = false;
+  });
+  timer.Start();
+  sim.RunUntil(static_cast<double>(kTicks) * period);
+  EXPECT_EQ(fires, kTicks);
+  EXPECT_TRUE(on_grid);
+  EXPECT_EQ(last_fire, static_cast<double>(kTicks) * period);
+}
+
+TEST(PeriodicTimerTest, RestartReanchorsAtCurrentTime) {
+  Simulator sim;
+  std::vector<double> fires;
+  PeriodicTimer timer(&sim, 0.1, [&](SimTime t) { fires.push_back(t); });
+  timer.Start();
+  sim.RunUntil(0.25);
+  timer.Stop();
+  timer.Start();  // Anchor moves to 0.25.
+  sim.RunUntil(0.6);
+  ASSERT_EQ(fires.size(), 5u);
+  EXPECT_EQ(fires[2], 0.25 + 1 * 0.1);
+  EXPECT_EQ(fires[3], 0.25 + 2 * 0.1);
+  EXPECT_EQ(fires[4], 0.25 + 3 * 0.1);
 }
 
 TEST(PeriodicTimerTest, DestructionCancelsPending) {
