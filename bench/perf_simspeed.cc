@@ -1,13 +1,22 @@
 // Simulator hot-path throughput: drives a fig14-scale synthetic event
-// mix (128 servers x 10 clients, arrival/completion/timeout churn plus
-// 1 Hz per-server ticks) directly against both event-queue
-// implementations — the timer-wheel EventQueue and the binary-heap
-// baseline it replaced — and reports events/sec and the wheel/heap
-// speedup. The workload's timeout events are scheduled 5 s out and
-// cancelled at completion, so the heap accumulates tens of thousands of
-// tombstones (its known pathology) while the wheel recycles nodes
-// immediately; this is the mix the wheel was built for, measured, not
-// assumed.
+// mix (128 servers x 10 clients, arrival/completion/timeout churn,
+// 1 Hz per-server ticks, plus periodic per-server range-handover
+// events mirroring the fluid-migration subsystem) directly against
+// both event-queue implementations — the timer-wheel EventQueue and
+// the binary-heap baseline it replaced — and reports events/sec and
+// the wheel/heap speedup. The workload's timeout events are scheduled
+// 30 s out and cancelled at completion, so the heap accumulates tens
+// of thousands of tombstones (its known pathology) while the wheel
+// recycles nodes immediately; this is the mix the wheel was built
+// for, measured, not assumed.
+//
+// Transaction state is flat (ROADMAP item 2's remaining headroom):
+// every in-flight transaction occupies one slot in a contiguous slab
+// threaded through per-server free lists, and its key range comes
+// from a pregenerated contiguous variate array. Event closures carry
+// only two 32-bit indices — small enough for both queues' inline
+// callback buffers — so the timed loop measures the queues, not
+// closure allocation.
 //
 // Every executed event folds into an order-sensitive FNV-1a digest; the
 // two implementations must produce the *same* digest (same events, same
@@ -34,6 +43,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "src/common/random.h"
 #include "src/sim/binary_heap_queue.h"
@@ -54,6 +64,8 @@ struct Config {
   double mean_service = 0.02;
   double slow_service_mean = 8.0;   // 1-in-100 txns; outlives the timeout.
   double timeout = 30.0;
+  int ranges_per_server = 8;        // Fluid-migration units per server.
+  double range_handover_period = 2.5;
 };
 
 // Wall clock for throughput only — simulated time never touches this.
@@ -85,6 +97,7 @@ enum EventKind : uint64_t {
   kCompletion = 2,
   kTimeout = 3,
   kTick = 4,
+  kRangeHandover = 5,
 };
 
 /// Pre-drawn workload variates, generated once *outside* the timed
@@ -97,15 +110,33 @@ struct VariateTable {
   VariateTable(const Config& cfg, size_t entries) : interarrival(entries) {
     Rng rng(cfg.seed);
     service.resize(entries);
+    range.resize(entries);
     for (size_t i = 0; i < entries; ++i) {
       interarrival[i] = rng.Exponential(cfg.mean_interarrival);
       const bool slow = rng.NextBelow(100) == 0;
       service[i] = rng.Exponential(slow ? cfg.slow_service_mean
                                         : cfg.mean_service);
+      // Per-range key variate: which migration unit the transaction's
+      // key falls in (and which unit a handover event freezes).
+      range[i] = static_cast<uint32_t>(
+          rng.NextBelow(static_cast<uint64_t>(cfg.ranges_per_server)));
     }
   }
   std::vector<double> interarrival;
   std::vector<double> service;
+  std::vector<uint32_t> range;
+};
+
+constexpr uint32_t kNoSlot = UINT32_MAX;
+
+/// One in-flight transaction. Slots live in a single contiguous slab
+/// (flat per-server state) and are recycled through per-server free
+/// lists; closures reference them by index, never by pointer — the
+/// slab may grow.
+struct TxnSlot {
+  uint64_t timeout_id = 0;
+  uint32_t range = 0;
+  uint32_t next_free = kNoSlot;
 };
 
 /// Drives the synthetic workload against one queue implementation.
@@ -118,10 +149,15 @@ struct Driver {
 
   void Seed() {
     const int n = cfg_.servers * cfg_.clients_per_server;
+    free_heads_.assign(static_cast<size_t>(cfg_.servers), kNoSlot);
+    slots_.reserve(static_cast<size_t>(n));
     for (int c = 0; c < n; ++c) {
       ScheduleArrival(c, NextInterarrival());
     }
-    for (int s = 0; s < cfg_.servers; ++s) ScheduleTick(s, 1.0);
+    for (int s = 0; s < cfg_.servers; ++s) {
+      ScheduleTick(s, 1.0);
+      ScheduleRangeHandover(s, cfg_.range_handover_period);
+    }
   }
 
   double NextInterarrival() {
@@ -132,6 +168,33 @@ struct Driver {
   double NextService() {
     return variates_.service[svc_cursor_++ % variates_.service.size()];
   }
+
+  uint32_t NextRange() {
+    return variates_.range[range_cursor_++ % variates_.range.size()];
+  }
+
+  /// Pops a slot off the client's server free list, growing the shared
+  /// slab when the list is dry. Event order is identical across queue
+  /// implementations, so the alloc/free sequence — and therefore every
+  /// slot's contents at fold time — is too.
+  uint32_t AllocSlot(int server) {
+    uint32_t& head = free_heads_[static_cast<size_t>(server)];
+    if (head != kNoSlot) {
+      const uint32_t slot = head;
+      head = slots_[slot].next_free;
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+
+  void FreeSlot(int server, uint32_t slot) {
+    uint32_t& head = free_heads_[static_cast<size_t>(server)];
+    slots_[slot].next_free = head;
+    head = slot;
+  }
+
+  int ServerOf(int client) const { return client / cfg_.clients_per_server; }
 
   void Run() {
     while (!queue_.empty()) {
@@ -151,34 +214,48 @@ struct Driver {
     queue_.Schedule(now_ + delay, [this, server] { OnTick(server); });
   }
 
+  void ScheduleRangeHandover(int server, double delay) {
+    queue_.Schedule(now_ + delay, [this, server] { OnRangeHandover(server); });
+  }
+
   void OnArrival(int client) {
+    const uint32_t range = NextRange();
     digest_ = FnvFold(digest_, kArrival);
     digest_ = FnvFold(digest_, static_cast<uint64_t>(client));
+    digest_ = FnvFold(digest_, range);
     digest_ = FnvFold(digest_, DoubleBits(now_));
     // The variate table makes ~1% of transactions pathologically slow,
     // outliving their timeout — so some timeouts actually fire and some
     // completion-time cancels miss, exercising both sides of Cancel in
     // both queues.
     const double service = NextService();
-    const uint64_t timeout_id = queue_.Schedule(
-        now_ + cfg_.timeout, [this, client] { OnTimeout(client); });
-    queue_.Schedule(now_ + service, [this, client, timeout_id] {
-      OnCompletion(client, timeout_id);
+    const uint32_t slot = AllocSlot(ServerOf(client));
+    slots_[slot].range = range;
+    slots_[slot].timeout_id = queue_.Schedule(
+        now_ + cfg_.timeout, [this, client, slot] { OnTimeout(client, slot); });
+    queue_.Schedule(now_ + service, [this, client, slot] {
+      OnCompletion(client, slot);
     });
     ScheduleArrival(client, NextInterarrival());
   }
 
-  void OnCompletion(int client, uint64_t timeout_id) {
-    const bool cancelled = queue_.Cancel(timeout_id);
+  void OnCompletion(int client, uint32_t slot) {
+    const bool cancelled = queue_.Cancel(slots_[slot].timeout_id);
     digest_ = FnvFold(digest_, kCompletion);
     digest_ = FnvFold(digest_, static_cast<uint64_t>(client));
     digest_ = FnvFold(digest_, cancelled ? 1 : 0);
+    digest_ = FnvFold(digest_, slots_[slot].range);
     digest_ = FnvFold(digest_, DoubleBits(now_));
+    FreeSlot(ServerOf(client), slot);
   }
 
-  void OnTimeout(int client) {
+  // The slot is still live here: only completion frees it, and the
+  // completion event is never cancelled — a fired timeout just means
+  // the transaction outlived its deadline.
+  void OnTimeout(int client, uint32_t slot) {
     digest_ = FnvFold(digest_, kTimeout);
     digest_ = FnvFold(digest_, static_cast<uint64_t>(client));
+    digest_ = FnvFold(digest_, slots_[slot].range);
     digest_ = FnvFold(digest_, DoubleBits(now_));
   }
 
@@ -189,12 +266,28 @@ struct Driver {
     ScheduleTick(server, 1.0);
   }
 
+  /// Periodic fluid-migration traffic: each server "hands over" one of
+  /// its ranges, drawn from the same pregenerated variate stream the
+  /// arrivals consume — exercising the digest cross-check with range
+  /// events interleaved into the transaction mix.
+  void OnRangeHandover(int server) {
+    const uint32_t range = NextRange();
+    digest_ = FnvFold(digest_, kRangeHandover);
+    digest_ = FnvFold(digest_, static_cast<uint64_t>(server));
+    digest_ = FnvFold(digest_, range);
+    digest_ = FnvFold(digest_, DoubleBits(now_));
+    ScheduleRangeHandover(server, cfg_.range_handover_period);
+  }
+
   Config cfg_;
   const VariateTable& variates_;
   Queue queue_;
   double now_ = 0.0;
   size_t ia_cursor_ = 0;
   size_t svc_cursor_ = 0;
+  size_t range_cursor_ = 0;
+  std::vector<TxnSlot> slots_;
+  std::vector<uint32_t> free_heads_;
   uint64_t digest_ = kFnvOffset;
   uint64_t executed_ = 0;
 };

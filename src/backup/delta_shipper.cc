@@ -6,8 +6,37 @@ DeltaShipper::DeltaShipper(const wal::Binlog* source_log,
                            storage::Lsn applied_lsn)
     : source_log_(source_log), applied_lsn_(applied_lsn) {}
 
+void DeltaShipper::RestrictToKeys(uint64_t lo, uint64_t hi) {
+  key_filtered_ = true;
+  key_lo_ = lo;
+  key_hi_ = hi;
+}
+
 uint64_t DeltaShipper::PendingBytes() const {
-  return source_log_->BytesInRange(applied_lsn_ + 1, source_log_->last_lsn());
+  if (!key_filtered_) {
+    return source_log_->BytesInRange(applied_lsn_ + 1,
+                                     source_log_->last_lsn());
+  }
+  // Filtered: the handover trigger compares this against its byte
+  // budget, and a hot neighbour range's writes must not keep THIS
+  // range's migration from converging.
+  std::vector<wal::LogRecord> records;
+  std::vector<uint64_t> record_bytes;
+  const Status read = source_log_->ReadRange(
+      applied_lsn_ + 1, source_log_->last_lsn(), &records, &record_bytes);
+  if (!read.ok()) {
+    return source_log_->BytesInRange(applied_lsn_ + 1,
+                                     source_log_->last_lsn());
+  }
+  uint64_t pending = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const wal::LogRecord& r = records[i];
+    if (r.type == wal::LogType::kCommit ||
+        (r.key >= key_lo_ && r.key < key_hi_)) {
+      pending += record_bytes[i];
+    }
+  }
+  return pending;
 }
 
 Result<DeltaRound> DeltaShipper::ReadRound() {
@@ -18,9 +47,24 @@ Result<DeltaRound> DeltaShipper::ReadRound() {
     round.to = applied_lsn_;
     return round;  // Caught up; empty round.
   }
-  SLACKER_RETURN_IF_ERROR(
-      source_log_->ReadRange(round.from, round.to, &round.records));
-  round.bytes = source_log_->BytesInRange(round.from, round.to);
+  if (key_filtered_) {
+    std::vector<wal::LogRecord> records;
+    std::vector<uint64_t> record_bytes;
+    SLACKER_RETURN_IF_ERROR(source_log_->ReadRange(round.from, round.to,
+                                                   &records, &record_bytes));
+    for (size_t i = 0; i < records.size(); ++i) {
+      const wal::LogRecord& r = records[i];
+      const bool keep = r.type == wal::LogType::kCommit ||
+                        (r.key >= key_lo_ && r.key < key_hi_);
+      if (!keep) continue;
+      round.records.push_back(r);
+      round.bytes += record_bytes[i];
+    }
+  } else {
+    SLACKER_RETURN_IF_ERROR(
+        source_log_->ReadRange(round.from, round.to, &round.records));
+    round.bytes = source_log_->BytesInRange(round.from, round.to);
+  }
   ++rounds_shipped_;
   bytes_shipped_ += round.bytes;
   if (rounds_counter_ != nullptr) rounds_counter_->Add();

@@ -32,6 +32,14 @@ class DeltaShipper {
   /// Rounds start after `applied_lsn` (the snapshot's start LSN).
   DeltaShipper(const wal::Binlog* source_log, storage::Lsn applied_lsn);
 
+  /// Restricts rounds to row changes with key in [lo, hi) — a
+  /// range-granular migration ships only its unit's deltas. Commit
+  /// records always ship (they carry no row and keep transaction
+  /// boundaries intact at the target). Rounds still advance through
+  /// the full LSN sequence; filtered-out records are simply not
+  /// shipped, since another job owns them.
+  void RestrictToKeys(uint64_t lo, uint64_t hi);
+
   /// Bytes of log not yet shipped.
   uint64_t PendingBytes() const;
   storage::Lsn applied_lsn() const { return applied_lsn_; }
@@ -57,6 +65,9 @@ class DeltaShipper {
  private:
   const wal::Binlog* source_log_;
   storage::Lsn applied_lsn_;
+  bool key_filtered_ = false;
+  uint64_t key_lo_ = 0;
+  uint64_t key_hi_ = 0;
   int rounds_shipped_ = 0;
   uint64_t bytes_shipped_ = 0;
   obs::Counter* rounds_counter_ = nullptr;

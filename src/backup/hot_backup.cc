@@ -7,15 +7,20 @@
 namespace slacker::backup {
 
 HotBackupStream::HotBackupStream(engine::TenantDb* source,
-                                 HotBackupOptions options, uint64_t start_key)
+                                 HotBackupOptions options, uint64_t start_key,
+                                 uint64_t end_key)
     : source_(source),
       options_(options),
       start_lsn_(source->last_lsn()),
+      end_key_(end_key),
       next_key_(start_key),
-      estimated_rows_(source->table().size()) {
+      estimated_rows_(end_key == UINT64_MAX
+                          ? source->table().size()
+                          : source->RowsInRange(start_key, end_key)) {
   const uint64_t record_bytes = source->config().layout.record_bytes;
   rows_per_chunk_ = std::max<uint64_t>(1, options_.chunk_bytes / record_bytes);
-  done_ = !source_->table().Seek(start_key).Valid();
+  auto it = source_->table().Seek(start_key);
+  done_ = !it.Valid() || it.record().key >= end_key_;
 }
 
 uint64_t HotBackupStream::EstimatedTotalChunks() const {
@@ -27,7 +32,8 @@ void HotBackupStream::RewindTo(uint64_t seq) {
   next_key_ = chunk_start_keys_[seq];
   next_seq_ = seq;
   chunk_start_keys_.resize(seq);
-  done_ = !source_->table().Seek(next_key_).Valid();
+  auto it = source_->table().Seek(next_key_);
+  done_ = !it.Valid() || it.record().key >= end_key_;
 }
 
 HotBackupStream::Chunk HotBackupStream::NextChunk() {
@@ -39,7 +45,7 @@ HotBackupStream::Chunk HotBackupStream::NextChunk() {
   // deleted behind the cursor while the backup runs.
   auto it = source_->table().Seek(next_key_);
   uint64_t copied = 0;
-  while (it.Valid() && copied < rows_per_chunk_) {
+  while (it.Valid() && it.record().key < end_key_ && copied < rows_per_chunk_) {
     chunk.rows.push_back(it.record());
     ++copied;
     it.Next();
@@ -47,7 +53,7 @@ HotBackupStream::Chunk HotBackupStream::NextChunk() {
   if (!chunk.rows.empty()) {
     next_key_ = chunk.rows.back().key + 1;
   }
-  done_ = !it.Valid();
+  done_ = !it.Valid() || it.record().key >= end_key_;
   chunk.logical_bytes =
       static_cast<uint64_t>(chunk.rows.size()) *
       source_->config().layout.record_bytes;

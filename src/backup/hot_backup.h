@@ -37,8 +37,11 @@ class HotBackupStream {
   /// `start_key` skips rows below it — a resumed migration continues
   /// from the first key the target has not durably staged (chunk
   /// boundaries are cursor-driven, so resumption is by key, not seq).
+  /// `end_key` bounds the scan to keys < end_key — a range-granular
+  /// migration snapshots only its unit [start_key, end_key); the
+  /// default is unbounded (whole tenant).
   HotBackupStream(engine::TenantDb* source, HotBackupOptions options,
-                  uint64_t start_key = 0);
+                  uint64_t start_key = 0, uint64_t end_key = UINT64_MAX);
 
   /// Binlog position when the backup began; delta replay starts at
   /// start_lsn + 1.
@@ -67,6 +70,7 @@ class HotBackupStream {
   HotBackupOptions options_;
   storage::Lsn start_lsn_;
   uint64_t rows_per_chunk_;
+  uint64_t end_key_;
   uint64_t next_key_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t bytes_produced_ = 0;

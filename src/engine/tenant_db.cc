@@ -50,12 +50,30 @@ void TenantDb::ExecuteOp(const Operation& op, OpCallback done) {
     frozen_queue_.push_back(PendingOp{op, std::move(done)});
     return;
   }
+  if (range_frozen_ && TouchesFrozenRange(op)) {
+    range_frozen_queue_.push_back(PendingOp{op, std::move(done)});
+    return;
+  }
   StartOp(op, std::move(done));
 }
 
-uint64_t TenantDb::RegisterOp(OpCallback done) {
+bool TenantDb::TouchesFrozenRange(const Operation& op) const {
+  if (op.type == OpType::kInsert) {
+    // Inserts land at the next insert cursor, not op.key.
+    return next_insert_key_ >= range_lo_ && next_insert_key_ < range_hi_;
+  }
+  if (op.type == OpType::kScan) {
+    const uint64_t len = std::max<uint64_t>(op.scan_length, 1);
+    const uint64_t end =
+        len > UINT64_MAX - op.key ? UINT64_MAX : op.key + len;
+    return op.key < range_hi_ && end > range_lo_;
+  }
+  return op.key >= range_lo_ && op.key < range_hi_;
+}
+
+uint64_t TenantDb::RegisterOp(const Operation& op, OpCallback done) {
   const uint64_t token = next_op_token_++;
-  pending_done_[token] = std::move(done);
+  pending_done_[token] = PendingDone{op, std::move(done)};
   if (op_latency_hist_ != nullptr) op_start_[token] = sim_->Now();
   return token;
 }
@@ -70,11 +88,11 @@ void TenantDb::AttachObs(common::Histogram* op_latency_ms,
 void TenantDb::StartOp(const Operation& op, OpCallback done) {
   if (op.type == OpType::kScan) {
     ++in_flight_;
-    StartScan(op, RegisterOp(std::move(done)));
+    StartScan(op, RegisterOp(op, std::move(done)));
     return;
   }
   ++in_flight_;
-  const uint64_t token = RegisterOp(std::move(done));
+  const uint64_t token = RegisterOp(op, std::move(done));
   // Stage 1: CPU (parse/plan/execute). Continuations are guarded by
   // alive_: a server crash destroys the instance while its work is
   // still queued on the shared disk/CPU.
@@ -161,8 +179,11 @@ void TenantDb::ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
 void TenantDb::FinishOp(const Operation& op, uint64_t token) {
   auto it = pending_done_.find(token);
   if (it == pending_done_.end()) return;  // Claimed by FailInFlight.
-  OpCallback done = std::move(it->second);
+  OpCallback done = std::move(it->second.done);
   pending_done_.erase(it);
+  if (range_frozen_ && range_draining_tokens_.erase(token) > 0) {
+    MaybeNotifyRangeDrained();
+  }
   if (op_latency_hist_ != nullptr) {
     auto start = op_start_.find(token);
     if (start != op_start_.end()) {
@@ -286,16 +307,76 @@ void TenantDb::FailQueued() {
   }
 }
 
+void TenantDb::FreezeRange(uint64_t lo, uint64_t hi,
+                           std::function<void()> drained) {
+  SLACKER_CHECK(!range_frozen_, "range freeze already active");
+  range_frozen_ = true;
+  range_lo_ = lo;
+  range_hi_ = hi;
+  // Drain exactly the in-flight ops that overlap the range — recorded
+  // as a token set so the membership decision is made once, here, and
+  // cannot drift as the insert cursor advances.
+  range_draining_tokens_.clear();
+  for (const auto& [token, pending] : pending_done_) {
+    if (TouchesFrozenRange(pending.op)) range_draining_tokens_.insert(token);
+  }
+  range_drain_waiters_.push_back(std::move(drained));
+  MaybeNotifyRangeDrained();
+}
+
+void TenantDb::MaybeNotifyRangeDrained() {
+  if (!range_frozen_ || !range_draining_tokens_.empty() ||
+      range_drain_waiters_.empty()) {
+    return;
+  }
+  auto waiters = std::move(range_drain_waiters_);
+  range_drain_waiters_.clear();
+  for (auto& w : waiters) {
+    if (w) sim_->After(0.0, std::move(w));
+  }
+}
+
+void TenantDb::UnfreezeRange() {
+  range_frozen_ = false;
+  range_draining_tokens_.clear();
+  auto queued = std::move(range_frozen_queue_);
+  range_frozen_queue_.clear();
+  for (auto& pending : queued) {
+    if (frozen_) {
+      // A whole-tenant freeze began while the range was frozen; the
+      // released ops wait behind it like everything else.
+      frozen_queue_.push_back(std::move(pending));
+    } else {
+      StartOp(pending.op, std::move(pending.done));
+    }
+  }
+}
+
+void TenantDb::FailRangeQueued() {
+  range_frozen_ = false;
+  range_draining_tokens_.clear();
+  auto queued = std::move(range_frozen_queue_);
+  range_frozen_queue_.clear();
+  for (auto& pending : queued) {
+    if (pending.done) {
+      sim_->After(0.0, [done = std::move(pending.done)] {
+        done(Status::Unavailable("range migrated away"), WrittenRow{});
+      });
+    }
+  }
+}
+
 void TenantDb::FailInFlight(const Status& status) {
   auto pending = std::move(pending_done_);
   pending_done_.clear();
   op_start_.clear();
   in_flight_ = 0;
-  for (auto& [token, done] : pending) {
-    if (!done) continue;
+  range_draining_tokens_.clear();
+  for (auto& [token, p] : pending) {
+    if (!p.done) continue;
     // Defer: callers expect completion callbacks to arrive from the
     // event loop, never from inside the call that failed them.
-    sim_->After(0.0, [done = std::move(done), status] {
+    sim_->After(0.0, [done = std::move(p.done), status] {
       done(status, WrittenRow{});
     });
   }
@@ -307,7 +388,16 @@ void TenantDb::FailInFlight(const Status& status) {
       done(status, WrittenRow{});
     });
   }
+  auto range_queued = std::move(range_frozen_queue_);
+  range_frozen_queue_.clear();
+  for (auto& p : range_queued) {
+    if (!p.done) continue;
+    sim_->After(0.0, [done = std::move(p.done), status] {
+      done(status, WrittenRow{});
+    });
+  }
   MaybeNotifyDrained();
+  MaybeNotifyRangeDrained();
 }
 
 void TenantDb::ChargeSequentialRead(uint64_t bytes, uint64_t stream_id,
@@ -403,6 +493,42 @@ uint64_t TenantDb::StateDigest() const {
 
 uint64_t TenantDb::DataBytes() const {
   return config_.layout.PagesFor(table_.size()) * config_.layout.page_bytes;
+}
+
+uint64_t TenantDb::StateDigestRange(uint64_t lo, uint64_t hi) const {
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  for (auto it = table_.Seek(lo); it.Valid() && it.record().key < hi;
+       it.Next()) {
+    const storage::Record& r = it.record();
+    digest = HashCombine(digest, r.key);
+    digest = HashCombine(digest, r.lsn);
+    digest = HashCombine(digest, r.digest);
+  }
+  return digest;
+}
+
+uint64_t TenantDb::RowsInRange(uint64_t lo, uint64_t hi) const {
+  uint64_t rows = 0;
+  for (auto it = table_.Seek(lo); it.Valid() && it.record().key < hi;
+       it.Next()) {
+    ++rows;
+  }
+  return rows;
+}
+
+uint64_t TenantDb::DataBytesRange(uint64_t lo, uint64_t hi) const {
+  return config_.layout.PagesFor(RowsInRange(lo, hi)) *
+         config_.layout.page_bytes;
+}
+
+uint64_t TenantDb::EraseRangeRows(uint64_t lo, uint64_t hi) {
+  std::vector<uint64_t> keys;
+  for (auto it = table_.Seek(lo); it.Valid() && it.record().key < hi;
+       it.Next()) {
+    keys.push_back(it.record().key);
+  }
+  for (const uint64_t key : keys) table_.Erase(key);
+  return keys.size();
 }
 
 storage::DataDirectory TenantDb::Directory() const {

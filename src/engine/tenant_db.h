@@ -6,6 +6,7 @@
 #include <map>
 #include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/common/metric_types.h"
@@ -100,6 +101,22 @@ class TenantDb {
   /// used after handover when this replica stops being authoritative
   /// (clients re-resolve and retry at the target).
   void FailQueued();
+
+  // --- Range-scoped freeze (fluid migration, DESIGN.md §16) ---------
+  /// Stops admitting operations touching keys in [lo, hi) only; other
+  /// keys keep executing. `drained` fires once every in-flight
+  /// operation that overlaps the range completes — the per-range
+  /// freeze window, orders of magnitude shorter than a whole-tenant
+  /// freeze. One range freeze at a time; bounds are raw integers so
+  /// the engine stays below the range module in the layer DAG.
+  void FreezeRange(uint64_t lo, uint64_t hi, std::function<void()> drained);
+  /// Re-admits operations queued behind the range freeze, in order.
+  void UnfreezeRange();
+  /// Fails operations queued behind the range freeze with kUnavailable
+  /// (the range handed over; clients re-resolve to the new owner) and
+  /// lifts the freeze for future out-of-range admissions.
+  void FailRangeQueued();
+  bool range_frozen() const { return range_frozen_; }
   /// Crash semantics: fails every *in-flight* operation (those already
   /// inside the CPU/disk pipeline) and everything queued behind a
   /// freeze with `status`. Late resource completions for those ops
@@ -157,8 +174,21 @@ class TenantDb {
   /// Current data-directory inventory (table data + binlog).
   storage::DataDirectory Directory() const;
 
+  /// Order-sensitive digest over rows with key in [lo, hi) only —
+  /// what source and target compare at a per-range handover.
+  uint64_t StateDigestRange(uint64_t lo, uint64_t hi) const;
+  /// Rows currently stored with key in [lo, hi).
+  uint64_t RowsInRange(uint64_t lo, uint64_t hi) const;
+  /// Logical bytes a migration of [lo, hi) must copy.
+  uint64_t DataBytesRange(uint64_t lo, uint64_t hi) const;
+  /// Drops every row with key in [lo, hi) without logging (the range
+  /// handed over; those rows now live on the new owner). Returns the
+  /// number of rows dropped.
+  uint64_t EraseRangeRows(uint64_t lo, uint64_t hi);
+
   uint64_t ops_executed() const { return ops_executed_; }
   size_t queued_ops() const { return frozen_queue_.size(); }
+  size_t range_queued_ops() const { return range_frozen_queue_.size(); }
   int in_flight() const { return in_flight_; }
 
   /// Hooks engine-level metrics into an observability registry: every
@@ -173,6 +203,11 @@ class TenantDb {
     OpCallback done;
   };
 
+  struct PendingDone {
+    Operation op;
+    OpCallback done;
+  };
+
   void StartOp(const Operation& op, OpCallback done);
   void StartScan(const Operation& op, uint64_t token);
   void ScanNextPage(uint64_t page, uint64_t last_page, Operation op,
@@ -180,9 +215,13 @@ class TenantDb {
   void FinishOp(const Operation& op, uint64_t token);
   /// Registers an in-flight op's callback; FinishOp/FailInFlight claim
   /// it exactly once by token.
-  uint64_t RegisterOp(OpCallback done);
+  uint64_t RegisterOp(const Operation& op, OpCallback done);
   WrittenRow ApplyWrite(const Operation& op);
   void MaybeNotifyDrained();
+  void MaybeNotifyRangeDrained();
+  /// Whether `op` reads or writes a key inside the frozen range (an
+  /// insert touches it iff the next insert key would land there).
+  bool TouchesFrozenRange(const Operation& op) const;
   /// Pool-namespace id for this tenant's `page` (distinct across
   /// tenants sharing one pool).
   uint64_t PoolPageId(uint64_t page) const;
@@ -208,8 +247,18 @@ class TenantDb {
   std::vector<std::function<void()>> drain_waiters_;
   uint64_t ops_executed_ = 0;
 
+  /// Range freeze (fluid migration): only ops touching [range_lo_,
+  /// range_hi_) queue; the drain waits on exactly the in-flight tokens
+  /// that overlapped the range at freeze time.
+  bool range_frozen_ = false;
+  uint64_t range_lo_ = 0;
+  uint64_t range_hi_ = 0;
+  std::deque<PendingOp> range_frozen_queue_;
+  std::set<uint64_t> range_draining_tokens_;
+  std::vector<std::function<void()>> range_drain_waiters_;
+
   uint64_t next_op_token_ = 1;
-  std::map<uint64_t, OpCallback> pending_done_;
+  std::map<uint64_t, PendingDone> pending_done_;
   /// Observability (inert unless AttachObs was called).
   common::Histogram* op_latency_hist_ = nullptr;
   common::Counter* ops_counter_ = nullptr;

@@ -49,6 +49,11 @@ std::vector<uint8_t> EncodeMessage(const Message& message) {
   if (message.negotiation.software_version != 0) {
     message.negotiation.EncodeTo(&writer);
   }
+  if (message.range_scoped) {
+    writer.PutU8(kRangeScopeMagic);
+    writer.PutVarint64(message.range_lo);
+    writer.PutVarint64(message.range_hi);
+  }
   return EncodeFrame(writer.Release());
 }
 
@@ -102,8 +107,12 @@ Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out) {
   out->frame = codec::FrameHeader();
   out->removed_keys.clear();
   out->negotiation = NegotiationInfo();
+  out->range_scoped = false;
+  out->range_lo = 0;
+  out->range_hi = 0;
   bool saw_codec_ext = false;
   bool saw_negotiation_ext = false;
+  bool saw_range_ext = false;
   while (!reader.exhausted()) {
     uint8_t magic;
     SLACKER_RETURN_IF_ERROR(reader.PeekU8(&magic));
@@ -135,6 +144,16 @@ Status DecodeMessage(const std::vector<uint8_t>& frame, Message* out) {
         // Version 0 is never encoded; its presence means corruption.
         return Status::Corruption("unexpected legacy negotiation extension");
       }
+    } else if (magic == kRangeScopeMagic) {
+      if (saw_range_ext) {
+        return Status::Corruption("duplicate range-scope extension");
+      }
+      saw_range_ext = true;
+      uint8_t consumed;
+      SLACKER_RETURN_IF_ERROR(reader.GetU8(&consumed));
+      out->range_scoped = true;
+      SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->range_lo));
+      SLACKER_RETURN_IF_ERROR(reader.GetVarint64(&out->range_hi));
     } else {
       return Status::Corruption("trailing bytes in message");
     }

@@ -12,6 +12,10 @@
 
 namespace slacker::net {
 
+/// Extension magic for the range-scope trailer (codec frames use 0xC5,
+/// negotiation 0xC6).
+inline constexpr uint8_t kRangeScopeMagic = 0xC7;
+
 /// Message types exchanged between Slacker migration controllers. The
 /// paper uses "a simple format based on Google's protocol buffers"
 /// (§2.2); this hand-rolled tagged encoding plays that role.
@@ -93,6 +97,13 @@ struct Message {
   /// A default (version 0) negotiation encodes to nothing, keeping the
   /// legacy wire bytes identical.
   NegotiationInfo negotiation;
+  /// kMigrateRequest: this migration moves only keys in
+  /// [range_lo, range_hi) — one unit of a fluid, range-granular
+  /// migration (DESIGN.md §16). Whole-tenant migrations leave it
+  /// false, which encodes to nothing (wire bytes stay identical).
+  bool range_scoped = false;
+  uint64_t range_lo = 0;
+  uint64_t range_hi = 0;
 
   bool operator==(const Message& other) const = default;
 

@@ -1,0 +1,34 @@
+#include "src/range/partitioner.h"
+
+namespace slacker::range {
+
+std::vector<uint64_t> PartitionSplitKeys(const storage::BTree& table,
+                                         size_t target_ranges) {
+  if (target_ranges <= 1) return {};
+  std::vector<uint64_t> splits = table.SubtreeSplitKeys(target_ranges - 1);
+  // A subtree separator of 0 would produce an empty leading range;
+  // SubtreeSplitKeys never emits one for a non-empty tree (separators
+  // exceed the smallest left-subtree key), but an all-zero-key
+  // degenerate table must not crash the router.
+  while (!splits.empty() && splits.front() == 0) {
+    splits.erase(splits.begin());
+  }
+  return splits;
+}
+
+std::vector<KeyRange> PartitionKeySpace(const storage::BTree& table,
+                                        size_t target_ranges) {
+  const std::vector<uint64_t> splits =
+      PartitionSplitKeys(table, target_ranges);
+  std::vector<KeyRange> ranges;
+  ranges.reserve(splits.size() + 1);
+  uint64_t lo = 0;
+  for (const uint64_t split : splits) {
+    ranges.push_back(KeyRange{lo, split});
+    lo = split;
+  }
+  ranges.push_back(KeyRange{lo, kNoUpperBound});
+  return ranges;
+}
+
+}  // namespace slacker::range

@@ -1,0 +1,31 @@
+#ifndef SLACKER_RANGE_PARTITIONER_H_
+#define SLACKER_RANGE_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/range/key_range.h"
+#include "src/storage/btree.h"
+
+namespace slacker::range {
+
+/// Cuts `table`'s key space into up to `target_ranges` contiguous
+/// migration units aligned to B+-tree subtree boundaries (DESIGN.md
+/// §16): the split keys come from the tree's own internal separators,
+/// so each unit maps to whole subtrees and the hot-backup cursor scans
+/// it without straddling reads. Always returns at least one range; the
+/// last range is unbounded (new inserts land at the top of the key
+/// space and must stay routable). Fewer ranges come back when the tree
+/// is too small to cut `target_ranges` ways.
+std::vector<KeyRange> PartitionKeySpace(const storage::BTree& table,
+                                        size_t target_ranges);
+
+/// The split keys PartitionKeySpace would cut at (exposed so callers
+/// can feed a RangeDirectory::Split sequence directly).
+std::vector<uint64_t> PartitionSplitKeys(const storage::BTree& table,
+                                         size_t target_ranges);
+
+}  // namespace slacker::range
+
+#endif  // SLACKER_RANGE_PARTITIONER_H_

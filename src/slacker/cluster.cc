@@ -128,6 +128,9 @@ Result<engine::TenantDb*> Cluster::AddTenant(
   auditor_.OnTenantPlaced(server_id, config.tenant_id, host->draining());
   AttachTenantObs(*db);
   SLACKER_RETURN_IF_ERROR(directory_.Register(config.tenant_id, server_id));
+  SLACKER_RETURN_IF_ERROR(ranges_.RegisterTenant(config.tenant_id, server_id));
+  auditor_.OnRangeCoverage(config.tenant_id,
+                           ranges_.ValidateCoverage(config.tenant_id));
   return db;
 }
 
@@ -135,7 +138,21 @@ Status Cluster::RemoveTenant(uint64_t tenant_id) {
   Result<uint64_t> host = directory_.Lookup(tenant_id);
   SLACKER_RETURN_IF_ERROR(host.status());
   SLACKER_RETURN_IF_ERROR(directory_.Remove(tenant_id));
-  return DeleteTenantOn(*host, tenant_id);
+  // A sharded tenant may hold instances on several servers; drop all.
+  std::vector<uint64_t> owners = ranges_.ServersOf(tenant_id);
+  (void)ranges_.RemoveTenant(tenant_id);
+  Status result = Status::Ok();
+  bool deleted_on_host = false;
+  for (uint64_t owner : owners) {
+    if (owner == *host) deleted_on_host = true;
+    const Status deleted = DeleteTenantOn(owner, tenant_id);
+    if (!deleted.ok() && result.ok()) result = deleted;
+  }
+  if (!deleted_on_host) {
+    const Status deleted = DeleteTenantOn(*host, tenant_id);
+    if (!deleted.ok() && result.ok()) result = deleted;
+  }
+  return result;
 }
 
 Status Cluster::StartMigration(uint64_t tenant_id, uint64_t target_server,
@@ -157,6 +174,51 @@ Status Cluster::StartMigration(uint64_t tenant_id, uint64_t target_server,
   }
   return server(*host)->controller()->StartMigration(tenant_id, target_server,
                                                      options, std::move(done));
+}
+
+Status Cluster::StartRangeMigration(uint64_t tenant_id,
+                                    const range::KeyRange& key_range,
+                                    uint64_t target_server,
+                                    const MigrationOptions& options,
+                                    MigrationJob::DoneCallback done) {
+  Result<range::OwnedRange> owned =
+      ranges_.RangeContaining(tenant_id, key_range.lo);
+  SLACKER_RETURN_IF_ERROR(owned.status());
+  if (!(owned->range == key_range)) {
+    return Status::InvalidArgument(
+        "range is not a registered unit (SplitTenantRange first): " +
+        key_range.ToString() + " vs " + owned->range.ToString());
+  }
+  const uint64_t source = owned->server;
+  if (server(target_server) == nullptr) {
+    return Status::NotFound("no such target server");
+  }
+  if (!server(source)->up()) {
+    return Status::Unavailable("source server is down");
+  }
+  if (!server(target_server)->up()) {
+    return Status::Unavailable("target server is down");
+  }
+  if (server(target_server)->draining()) {
+    return Status::FailedPrecondition("target server is draining");
+  }
+  MigrationOptions range_options = options;
+  range_options.range_scoped = true;
+  range_options.range = key_range;
+  return server(source)->controller()->StartMigration(
+      tenant_id, target_server, range_options, std::move(done));
+}
+
+Status Cluster::SplitTenantRange(uint64_t tenant_id, uint64_t split_key) {
+  SLACKER_RETURN_IF_ERROR(ranges_.Split(tenant_id, split_key));
+  auditor_.OnRangeCoverage(tenant_id, ranges_.ValidateCoverage(tenant_id));
+  return Status::Ok();
+}
+
+Status Cluster::MergeTenantRange(uint64_t tenant_id, uint64_t key) {
+  SLACKER_RETURN_IF_ERROR(ranges_.MergeAt(tenant_id, key));
+  auditor_.OnRangeCoverage(tenant_id, ranges_.ValidateCoverage(tenant_id));
+  return Status::Ok();
 }
 
 MigrationJob* Cluster::ActiveJob(uint64_t tenant_id) {
@@ -181,6 +243,16 @@ engine::TenantDb* Cluster::Resolve(uint64_t tenant_id) {
   const Result<uint64_t> host = directory_.Lookup(tenant_id);
   if (!host.ok()) return nullptr;
   return server(*host)->tenants()->Get(tenant_id);
+}
+
+engine::TenantDb* Cluster::ResolveForKey(uint64_t tenant_id, uint64_t key) {
+  if (!ranges_.IsSharded(tenant_id)) return Resolve(tenant_id);
+  const Result<uint64_t> owner = ranges_.OwnerOf(tenant_id, key);
+  if (!owner.ok()) return nullptr;
+  auditor_.OnOpRouted(tenant_id, key, *owner, *owner);
+  Server* host = server(*owner);
+  if (host == nullptr || !host->up()) return nullptr;
+  return host->tenants()->Get(tenant_id);
 }
 
 workload::ClientPool::LatencyObserver Cluster::MakeLatencyObserver() {
@@ -354,6 +426,7 @@ void Cluster::RecoverServer(uint64_t server_id) {
         (void)host->tenants()->DeleteTenant(tenant_id);
         durable->EraseCrashState(tenant_id);
         (void)directory_.Remove(tenant_id);
+        (void)ranges_.RemoveTenant(tenant_id);
         continue;
       }
       // Implicit LSN-0 checkpoint: the initial Load() image plus a full

@@ -12,6 +12,8 @@
 #include "src/control/latency_monitor.h"
 #include "src/forecast/fleet_source.h"
 #include "src/net/channel.h"
+#include "src/range/key_range.h"
+#include "src/range/range_directory.h"
 #include "src/resource/cpu.h"
 #include "src/resource/disk.h"
 #include "src/resource/network_link.h"
@@ -147,6 +149,23 @@ class Cluster : public MigrationContext,
   Status StartMigration(uint64_t tenant_id, uint64_t target_server,
                         const MigrationOptions& options,
                         MigrationJob::DoneCallback done);
+  /// Migrates one registered range of `tenant_id` (DESIGN.md §16). The
+  /// range must match a current RangeDirectory unit exactly — call
+  /// SplitTenantRange first to carve units. The job runs on the range's
+  /// owning server (which may differ from the tenant directory entry
+  /// once the tenant is sharded).
+  Status StartRangeMigration(uint64_t tenant_id,
+                             const range::KeyRange& key_range,
+                             uint64_t target_server,
+                             const MigrationOptions& options,
+                             MigrationJob::DoneCallback done);
+  /// Splits the range containing `split_key` in the router, making
+  /// [lo, split_key) and [split_key, hi) independently migratable.
+  /// Pure metadata: no data moves and no tenant instance is touched.
+  Status SplitTenantRange(uint64_t tenant_id, uint64_t split_key);
+  /// Merges the range containing `key` with its successor when both
+  /// live on the same server (post-migration tidying).
+  Status MergeTenantRange(uint64_t tenant_id, uint64_t key);
   /// The in-flight job for `tenant_id`, or nullptr.
   MigrationJob* ActiveJob(uint64_t tenant_id);
   /// Cancels an in-flight migration; the source stays authoritative.
@@ -197,6 +216,10 @@ class Cluster : public MigrationContext,
   // --- Client plumbing --------------------------------------------
   /// TenantResolver: current authoritative instance for the tenant.
   engine::TenantDb* Resolve(uint64_t tenant_id) override;
+  /// Per-key routing for sharded tenants: the instance on the server
+  /// owning `key` per the RangeDirectory. Falls back to Resolve for
+  /// unsharded tenants (the common fast path — one map lookup).
+  engine::TenantDb* ResolveForKey(uint64_t tenant_id, uint64_t key) override;
   /// Observer for ClientPool that feeds the hosting server's monitor.
   workload::ClientPool::LatencyObserver MakeLatencyObserver();
   /// Registers a pool so server monitors can probe outstanding work
@@ -232,6 +255,9 @@ class Cluster : public MigrationContext,
   obs::Tracer* tracer() override { return tracer_; }
   /// Always on: every Cluster audits its migrations (DESIGN.md §9).
   InvariantAuditor* auditor() override { return &auditor_; }
+  /// The range-ownership router (DESIGN.md §16). Every tenant is
+  /// registered with a single full-keyspace range at AddTenant time.
+  range::RangeDirectory* range_directory() override { return &ranges_; }
 
   // --- FleetOpsSource ---------------------------------------------
   // (simulator(), tracer() and num_servers() above also satisfy it.)
@@ -248,6 +274,7 @@ class Cluster : public MigrationContext,
   ClusterOptions options_;
   std::vector<std::unique_ptr<Server>> servers_;
   TenantDirectory directory_;
+  range::RangeDirectory ranges_;
   // One link + channel per ordered server pair, created lazily.
   std::map<std::pair<uint64_t, uint64_t>,
            std::unique_ptr<resource::NetworkLink>>

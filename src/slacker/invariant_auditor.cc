@@ -193,6 +193,26 @@ void InvariantAuditor::OnServerVersionChange(uint64_t server_id,
   ++checks_passed_;
 }
 
+void InvariantAuditor::OnRangeCoverage(uint64_t tenant_id,
+                                       const Status& coverage) {
+  SLACKER_CHECK(coverage.ok(),
+                "tenant " + std::to_string(tenant_id) +
+                    ": range coverage invariant violated — " +
+                    coverage.ToString());
+  ++checks_passed_;
+}
+
+void InvariantAuditor::OnOpRouted(uint64_t tenant_id, uint64_t key,
+                                  uint64_t routed_server,
+                                  uint64_t owner_server) {
+  SLACKER_CHECK(routed_server == owner_server,
+                "tenant " + std::to_string(tenant_id) + ": op on key " +
+                    std::to_string(key) + " routed to server " +
+                    std::to_string(routed_server) + " but server " +
+                    std::to_string(owner_server) + " owns the range");
+  ++checks_passed_;
+}
+
 void InvariantAuditor::EndMigration(uint64_t tenant_id) {
   auto it = ledgers_.find(tenant_id);
   if (it != ledgers_.end()) it->second.active = false;

@@ -101,6 +101,25 @@ class InvariantAuditor {
   void OnServerVersionChange(uint64_t server_id, uint32_t from_version,
                              uint32_t to_version);
 
+  // --- Range-granular migration (DESIGN.md §16) --------------------
+  /// Fatal unless the RangeDirectory's coverage invariant holds after a
+  /// mutation: the tenant's ranges tile [0, kNoUpperBound) with no hole
+  /// or overlap, each range owned by exactly one server. Callers pass
+  /// RangeDirectory::ValidateCoverage's verdict; a routing table with a
+  /// hole silently loses queries, so the run must stop here.
+  void OnRangeCoverage(uint64_t tenant_id, const Status& coverage);
+  /// Fatal unless a per-key routed operation landed on the range's
+  /// owner — serving a read from a server that just handed the range
+  /// away returns stale rows.
+  void OnOpRouted(uint64_t tenant_id, uint64_t key, uint64_t routed_server,
+                  uint64_t owner_server);
+  /// Note on per-range chunk conservation: range jobs reuse the
+  /// per-tenant ledger above. Each job opens its own ledger epoch
+  /// (BeginMigration zeroes it) and range jobs are serialized per
+  /// tenant by the controller, so CheckChunkConservation at a range
+  /// handover is exactly the per-range sent = applied + discarded +
+  /// dropped check.
+
   /// The tenant's ledger, or nullptr when none is open (tests and
   /// diagnostics; the auditor's own checks use CheckChunkConservation).
   const ChunkLedger* ledger(uint64_t tenant_id) const;

@@ -20,6 +20,7 @@
 #include "src/engine/tenant_db.h"
 #include "src/net/message.h"
 #include "src/obs/trace.h"
+#include "src/range/range_directory.h"
 #include "src/resource/cpu.h"
 #include "src/resource/token_bucket.h"
 #include "src/sim/simulator.h"
@@ -75,6 +76,10 @@ class MigrationContext {
   /// negotiation disabled" (net/negotiation.h) — the default so mock
   /// contexts and pre-versioning setups keep the legacy wire format.
   virtual uint32_t SoftwareVersionOn(uint64_t /*server_id*/) { return 0; }
+  /// Per-range ownership map (DESIGN.md §16), or nullptr when the
+  /// context routes whole tenants only. Range-scoped jobs require it:
+  /// the handover flips a range entry here, not the tenant directory.
+  virtual range::RangeDirectory* range_directory() { return nullptr; }
 };
 
 /// One try of a supervised migration (MigrationSupervisor fills these).
@@ -98,6 +103,9 @@ struct [[nodiscard]] MigrationReport {
   uint64_t source_server = 0;
   uint64_t target_server = 0;
   MigrationMode mode = MigrationMode::kLive;
+  /// Range-granular job: only `range` moved (DESIGN.md §16).
+  bool range_scoped = false;
+  range::KeyRange range;
   std::string throttle_name;
 
   SimTime start_time = 0.0;
@@ -353,6 +361,11 @@ class TargetSession {
  private:
   void Abort(const Status& status);
   void MarkFinished();
+  /// Abort-path cleanup: deletes a staging instance this session
+  /// created, but a *reused* live instance (range session of a tenant
+  /// already serving other ranges here) only loses the staged in-range
+  /// rows — it stays up for the ranges it owns.
+  void DiscardStaging();
   /// NACK the first missing/corrupt seq, rate-limited so a burst of
   /// out-of-order chunks doesn't trigger a NACK storm.
   void MaybeNack();
@@ -377,6 +390,14 @@ class TargetSession {
   net::TenantWireConfig wire_config_;
   DurableStore* store_ = nullptr;
   engine::TenantDb* staging_ = nullptr;
+  /// Range-scoped session (DESIGN.md §16): only [range_lo_, range_hi_)
+  /// is arriving. When the tenant already serves other ranges here the
+  /// live instance is *reused* (created_staging_ == false) and must
+  /// never be deleted on abort — only the staged in-range rows are.
+  bool range_scoped_ = false;
+  uint64_t range_lo_ = 0;
+  uint64_t range_hi_ = 0;
+  bool created_staging_ = true;
   uint64_t rows_received_ = 0;
   bool finished_ = false;
   bool awaiting_decision_ = false;

@@ -42,6 +42,15 @@ Status MigrationOptions::Validate() const {
   if (session_idle_timeout < 0.0) {
     return Status::InvalidArgument("session_idle_timeout must be >= 0");
   }
+  if (range_scoped) {
+    if (mode != MigrationMode::kLive) {
+      return Status::InvalidArgument(
+          "range_scoped requires MigrationMode::kLive");
+    }
+    if (range.lo >= range.hi) {
+      return Status::InvalidArgument("range must be non-empty");
+    }
+  }
   return Status::Ok();
 }
 

@@ -10,6 +10,7 @@
 #include "src/common/units.h"
 #include "src/control/adaptive_pid.h"
 #include "src/control/pid.h"
+#include "src/range/key_range.h"
 
 namespace slacker {
 
@@ -110,6 +111,14 @@ struct MigrationOptions {
   /// its job died with it). Staged chunks stay on disk for resume.
   /// 0 disables.
   SimTime session_idle_timeout = 45.0;
+
+  /// Range-granular migration (DESIGN.md §16): move only the keys in
+  /// `range` instead of the whole tenant. The job snapshots, ships
+  /// deltas, and freezes just that unit; ownership flips in the
+  /// cluster's RangeDirectory at handover. Range jobs never resume
+  /// (staged-chunk bookkeeping is per-tenant) and require kLive mode.
+  bool range_scoped = false;
+  range::KeyRange range;
 
   Status Validate() const;
 };

@@ -320,6 +320,55 @@ Result<uint64_t> BTree::MaxKey() const {
   return leaf->records.back().key;
 }
 
+std::vector<uint64_t> BTree::SubtreeSplitKeys(size_t max_splits) const {
+  std::vector<uint64_t> candidates;
+  if (max_splits == 0) return candidates;
+  if (root_->is_leaf) {
+    // No internal separators exist; every record boundary is trivially
+    // subtree-aligned (a record is a one-row subtree).
+    const auto* leaf = static_cast<const LeafNode*>(root_);
+    for (size_t i = 1; i < leaf->records.size(); ++i) {
+      candidates.push_back(leaf->records[i].key);
+    }
+  } else {
+    // Collect separators level by level: every key of an internal node
+    // is a subtree boundary, and deeper levels only refine the ones
+    // above. Stop as soon as a level's accumulated separators suffice,
+    // so partitions stay as coarse (and as balanced) as the tree allows.
+    std::vector<const InternalNode*> level = {
+        static_cast<const InternalNode*>(root_)};
+    while (!level.empty()) {
+      for (const InternalNode* node : level) {
+        candidates.insert(candidates.end(), node->keys.begin(),
+                          node->keys.end());
+      }
+      if (candidates.size() >= max_splits) break;
+      std::vector<const InternalNode*> next;
+      for (const InternalNode* node : level) {
+        for (const Node* child : node->children) {
+          if (!child->is_leaf) {
+            next.push_back(static_cast<const InternalNode*>(child));
+          }
+        }
+      }
+      level = std::move(next);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  if (candidates.size() <= max_splits) return candidates;
+  // Thin to an evenly spaced subset of exactly max_splits keys.
+  std::vector<uint64_t> picked;
+  picked.reserve(max_splits);
+  for (size_t i = 1; i <= max_splits; ++i) {
+    const size_t index = i * candidates.size() / (max_splits + 1);
+    picked.push_back(candidates[std::min(index, candidates.size() - 1)]);
+  }
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  return picked;
+}
+
 int BTree::LeafDepth() const {
   int depth = 0;
   const Node* node = root_;

@@ -65,6 +65,18 @@ class BTree {
   /// Largest key present; NotFound when empty.
   Result<uint64_t> MaxKey() const;
 
+  /// Up to `max_splits` strictly increasing separator keys, each
+  /// aligned to a subtree boundary: splitting the key space at a
+  /// returned key k puts every record of some whole subtree strictly
+  /// below k and the rest at or above it. The tree's own internal
+  /// separators are collected top-down (shallowest levels first) until
+  /// enough exist, then thinned to an evenly spaced subset — so the
+  /// resulting partitions track the tree's actual key distribution,
+  /// not an assumed-uniform key space. A root-leaf tree falls back to
+  /// record keys. Fewer (possibly zero) keys come back when the tree
+  /// is too small to cut `max_splits` ways.
+  std::vector<uint64_t> SubtreeSplitKeys(size_t max_splits) const;
+
   /// Checks structural invariants (key ordering, fill factors, leaf
   /// chain consistency, separator correctness). Used by tests.
   Status Validate() const;

@@ -44,6 +44,25 @@ Status Binlog::ReadRange(storage::Lsn from, storage::Lsn to,
   return Status::Ok();
 }
 
+Status Binlog::ReadRange(storage::Lsn from, storage::Lsn to,
+                         std::vector<LogRecord>* out,
+                         std::vector<uint64_t>* out_bytes) const {
+  out->clear();
+  out_bytes->clear();
+  if (from > to) return Status::Ok();
+  if (from < first_lsn_) {
+    return Status::OutOfRange("binlog range purged");
+  }
+  auto begin = std::lower_bound(records_.begin(), records_.end(), from,
+                                LsnLess{});
+  size_t idx = static_cast<size_t>(begin - records_.begin());
+  for (auto it = begin; it != records_.end() && it->lsn <= to; ++it, ++idx) {
+    out->push_back(*it);
+    out_bytes->push_back(record_bytes_[idx]);
+  }
+  return Status::Ok();
+}
+
 uint64_t Binlog::BytesInRange(storage::Lsn from, storage::Lsn to) const {
   if (from > to || records_.empty()) return 0;
   auto begin = std::lower_bound(records_.begin(), records_.end(), from,

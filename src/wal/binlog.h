@@ -37,6 +37,13 @@ class Binlog {
   Status ReadRange(storage::Lsn from, storage::Lsn to,
                    std::vector<LogRecord>* out) const;
 
+  /// Same, also emitting each record's accounted size (header + row
+  /// image) so a caller that filters the batch can recompute its wire
+  /// footprint. `out_bytes` is index-parallel with `out`.
+  Status ReadRange(storage::Lsn from, storage::Lsn to,
+                   std::vector<LogRecord>* out,
+                   std::vector<uint64_t>* out_bytes) const;
+
   /// Serialized bytes of records with lsn in [from, to].
   uint64_t BytesInRange(storage::Lsn from, storage::Lsn to) const;
 

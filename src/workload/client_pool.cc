@@ -60,7 +60,18 @@ void ClientPool::OnArrival() {
 void ClientPool::Dispatch(PendingTxn txn) {
   ++busy_clients_;
   ++txn.attempts;
-  engine::TenantDb* db = resolver_->Resolve(txn.spec.tenant_id);
+  engine::TenantDb* db;
+  if (route_by_key_ && !txn.spec.ops.empty()) {
+    const engine::Operation& first = txn.spec.ops.front();
+    // Inserts land at the engine's next insert key — the top of the
+    // key space — so they belong to whoever owns the unbounded tail.
+    const uint64_t route_key = first.type == engine::OpType::kInsert
+                                   ? UINT64_MAX - 1
+                                   : first.key;
+    db = resolver_->ResolveForKey(txn.spec.tenant_id, route_key);
+  } else {
+    db = resolver_->Resolve(txn.spec.tenant_id);
+  }
   if (db == nullptr) {
     // No instance to serve this tenant (host crashed, or it is being
     // created/deleted). Back off exponentially: a restart takes

@@ -23,6 +23,13 @@ class TenantResolver {
  public:
   virtual ~TenantResolver() = default;
   virtual engine::TenantDb* Resolve(uint64_t tenant_id) = 0;
+  /// Per-key routing for range-sharded tenants (DESIGN.md §16). The
+  /// default ignores the key — for an unsharded tenant every key lives
+  /// with the tenant's one authoritative instance.
+  virtual engine::TenantDb* ResolveForKey(uint64_t tenant_id,
+                                          uint64_t /*key*/) {
+    return Resolve(tenant_id);
+  }
 };
 
 struct ClientPoolStats {
@@ -61,6 +68,14 @@ class ClientPool {
   /// still complete.
   void Stop();
   bool running() const { return running_; }
+
+  /// Route each transaction by its first operation's key through
+  /// TenantResolver::ResolveForKey instead of the whole-tenant lookup
+  /// (DESIGN.md §16). For range-sharded tenants keep transactions
+  /// within one range (single-op transactions route exactly); inserts
+  /// route to the owner of the key-space tail, where new keys land.
+  /// Off by default — identical to Resolve for unsharded tenants.
+  void set_route_by_key(bool route) { route_by_key_ = route; }
 
   /// Age (ms) of the oldest transaction not yet completed, or 0.
   double OldestOutstandingAgeMs(SimTime now) const;
@@ -109,6 +124,7 @@ class ClientPool {
   LatencyObserver observer_;
 
   bool running_ = false;
+  bool route_by_key_ = false;
   sim::EventId arrival_event_ = 0;
   int busy_clients_ = 0;
   std::deque<PendingTxn> queue_;

@@ -1,0 +1,568 @@
+// Tests for the range-ownership subsystem (DESIGN.md §16): the
+// RangeDirectory router, B+-tree-aligned partitioning, range-scoped
+// migration jobs (a tenant sharded across servers mid-flight and at
+// rest), the FluidMigrator orchestration, the auditor's range
+// invariants, a cancel-at-every-phase sweep for a single range job,
+// and a router-under-churn property test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/units.h"
+#include "src/range/key_range.h"
+#include "src/range/partitioner.h"
+#include "src/range/range_directory.h"
+#include "src/slacker/cluster.h"
+#include "src/slacker/fluid_migration.h"
+#include "src/slacker/invariant_auditor.h"
+#include "src/workload/client_pool.h"
+#include "src/workload/ycsb.h"
+
+namespace slacker {
+namespace {
+
+using range::KeyRange;
+using range::kNoUpperBound;
+using range::OwnedRange;
+using range::RangeDirectory;
+
+// --- RangeDirectory ------------------------------------------------
+
+TEST(RangeDirectoryTest, RegisterSplitMoveMerge) {
+  RangeDirectory dir;
+  ASSERT_TRUE(dir.RegisterTenant(1, 0).ok());
+  EXPECT_TRUE(dir.HasTenant(1));
+  EXPECT_EQ(dir.RangeCount(1), 1u);
+  EXPECT_EQ(*dir.OwnerOf(1, 0), 0u);
+  EXPECT_EQ(*dir.OwnerOf(1, kNoUpperBound - 1), 0u);
+
+  ASSERT_TRUE(dir.Split(1, 1000).ok());
+  EXPECT_EQ(dir.RangeCount(1), 2u);
+  EXPECT_FALSE(dir.IsSharded(1));  // Split, but one owner.
+
+  ASSERT_TRUE(dir.MoveRange(1, KeyRange{1000, kNoUpperBound}, 2).ok());
+  EXPECT_TRUE(dir.IsSharded(1));
+  EXPECT_EQ(*dir.OwnerOf(1, 999), 0u);
+  EXPECT_EQ(*dir.OwnerOf(1, 1000), 2u);
+  EXPECT_EQ(dir.ServersOf(1), (std::vector<uint64_t>{0, 2}));
+
+  // Merge refuses across different owners, works once they agree.
+  EXPECT_EQ(dir.MergeAt(1, 0).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(dir.MoveRange(1, KeyRange{0, 1000}, 2).ok());
+  ASSERT_TRUE(dir.MergeAt(1, 0).ok());
+  EXPECT_EQ(dir.RangeCount(1), 1u);
+  EXPECT_FALSE(dir.IsSharded(1));
+  EXPECT_TRUE(dir.ValidateCoverage(1).ok());
+}
+
+TEST(RangeDirectoryTest, MoveRequiresExactRange) {
+  RangeDirectory dir;
+  ASSERT_TRUE(dir.RegisterTenant(1, 0).ok());
+  ASSERT_TRUE(dir.Split(1, 500).ok());
+  // A sloppy move could orphan a sliver of keyspace.
+  EXPECT_FALSE(dir.MoveRange(1, KeyRange{0, 400}, 1).ok());
+  EXPECT_FALSE(dir.MoveRange(1, KeyRange{100, 500}, 1).ok());
+  EXPECT_TRUE(dir.MoveRange(1, KeyRange{0, 500}, 1).ok());
+  EXPECT_TRUE(dir.ValidateCoverage(1).ok());
+}
+
+TEST(RangeDirectoryTest, SplitRejectsDegenerateKeys) {
+  RangeDirectory dir;
+  ASSERT_TRUE(dir.RegisterTenant(1, 0).ok());
+  EXPECT_FALSE(dir.Split(1, 0).ok());
+  EXPECT_FALSE(dir.Split(1, kNoUpperBound).ok());
+  ASSERT_TRUE(dir.Split(1, 7).ok());
+  EXPECT_FALSE(dir.Split(1, 7).ok());  // Already a boundary.
+  EXPECT_TRUE(dir.ValidateCoverage(1).ok());
+}
+
+TEST(RangeDirectoryTest, VersionBumpsOnEveryMutation) {
+  RangeDirectory dir;
+  const uint64_t v0 = dir.version();
+  ASSERT_TRUE(dir.RegisterTenant(1, 0).ok());
+  ASSERT_TRUE(dir.Split(1, 9).ok());
+  ASSERT_TRUE(dir.MoveRange(1, KeyRange{0, 9}, 1).ok());
+  EXPECT_GE(dir.version(), v0 + 3);
+}
+
+// --- Partitioner ---------------------------------------------------
+
+TEST(PartitionerTest, RangesCoverKeySpaceAlongSubtreeBoundaries) {
+  storage::BTree table;
+  for (uint64_t k = 0; k < 4096; ++k) {
+    storage::Record r;
+    r.key = k;
+    table.Put(r);
+  }
+  const std::vector<KeyRange> ranges = range::PartitionKeySpace(table, 8);
+  ASSERT_GE(ranges.size(), 2u);
+  ASSERT_LE(ranges.size(), 8u);
+  // Contiguous cover of [0, kNoUpperBound), last range unbounded.
+  EXPECT_EQ(ranges.front().lo, 0u);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].lo, ranges[i - 1].hi);
+  }
+  EXPECT_EQ(ranges.back().hi, kNoUpperBound);
+  // Every cut is one of the tree's own subtree separators.
+  const std::vector<uint64_t> seps =
+      table.SubtreeSplitKeys(std::numeric_limits<size_t>::max());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_TRUE(std::find(seps.begin(), seps.end(), ranges[i].lo) !=
+                seps.end())
+        << "cut " << ranges[i].lo << " is not a subtree boundary";
+  }
+}
+
+TEST(PartitionerTest, TinyTableYieldsSingleRange) {
+  storage::BTree table;
+  storage::Record r;
+  r.key = 42;
+  table.Put(r);
+  const std::vector<KeyRange> ranges = range::PartitionKeySpace(table, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_TRUE(ranges[0].IsFull());
+}
+
+// --- Range-scoped migration ----------------------------------------
+
+engine::TenantConfig SmallTenant(uint64_t id = 1) {
+  engine::TenantConfig config;
+  config.tenant_id = id;
+  config.layout.record_count = 64 * 1024;
+  config.buffer_pool_bytes = 8 * kMiB;
+  return config;
+}
+
+MigrationOptions FastLive(double mbps = 64.0) {
+  MigrationOptions options;
+  options.throttle = ThrottleKind::kFixed;
+  options.fixed_rate_mbps = mbps;
+  options.prepare.base_seconds = 0.1;
+  return options;
+}
+
+struct RangeRig {
+  sim::Simulator sim;
+  Cluster cluster;
+  MigrationReport report;
+  bool done = false;
+
+  RangeRig(int num_servers = 3) : cluster(&sim, MakeOptions(num_servers)) {}
+
+  static ClusterOptions MakeOptions(int num_servers) {
+    ClusterOptions options;
+    options.num_servers = num_servers;
+    return options;
+  }
+
+  MigrationJob::DoneCallback Done() {
+    return [this](const MigrationReport& r) {
+      report = r;
+      done = true;
+    };
+  }
+};
+
+TEST(RangeMigrationTest, TenantRegisteredWithFullRange) {
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  RangeDirectory* dir = rig.cluster.range_directory();
+  ASSERT_TRUE(dir->HasTenant(1));
+  EXPECT_EQ(dir->RangeCount(1), 1u);
+  EXPECT_EQ(*dir->OwnerOf(1, 12345), 0u);
+  ASSERT_TRUE(rig.cluster.RemoveTenant(1).ok());
+  EXPECT_FALSE(dir->HasTenant(1));
+}
+
+TEST(RangeMigrationTest, MovesOnlyTheRangeAndShardsTheTenant) {
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  const uint64_t mid = 32 * 1024;
+  ASSERT_TRUE(rig.cluster.SplitTenantRange(1, mid).ok());
+  ASSERT_TRUE(rig.cluster
+                  .StartRangeMigration(1, KeyRange{mid, kNoUpperBound}, 1,
+                                       FastLive(), rig.Done())
+                  .ok());
+  rig.sim.RunUntil(120.0);
+  ASSERT_TRUE(rig.done);
+  ASSERT_TRUE(rig.report.status.ok()) << rig.report.status.ToString();
+  EXPECT_TRUE(rig.report.range_scoped);
+  EXPECT_TRUE(rig.report.digest_match);
+
+  // Sharded at rest: low half on server 0, high half on server 1.
+  RangeDirectory* dir = rig.cluster.range_directory();
+  EXPECT_TRUE(dir->IsSharded(1));
+  EXPECT_EQ(*dir->OwnerOf(1, mid - 1), 0u);
+  EXPECT_EQ(*dir->OwnerOf(1, mid), 1u);
+  engine::TenantDb* low = rig.cluster.TenantOn(0, 1);
+  engine::TenantDb* high = rig.cluster.TenantOn(1, 1);
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  EXPECT_FALSE(low->frozen());
+  EXPECT_FALSE(high->frozen());
+  EXPECT_FALSE(low->range_frozen());
+  // Rows moved, not copied: each instance holds exactly its half.
+  EXPECT_EQ(low->table().size(), mid);
+  EXPECT_EQ(high->table().size(), 64 * 1024 - mid);
+  // Per-key routing agrees with the split.
+  EXPECT_EQ(rig.cluster.ResolveForKey(1, 0), low);
+  EXPECT_EQ(rig.cluster.ResolveForKey(1, mid), high);
+  // The whole-tenant directory still answers (coarse view unchanged
+  // while the tenant spans servers).
+  EXPECT_TRUE(rig.cluster.directory()->Lookup(1).ok());
+}
+
+TEST(RangeMigrationTest, MovingAllRangesConvergesAndRetiresSource) {
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  const uint64_t mid = 32 * 1024;
+  ASSERT_TRUE(rig.cluster.SplitTenantRange(1, mid).ok());
+  for (const KeyRange r :
+       {KeyRange{mid, kNoUpperBound}, KeyRange{0, mid}}) {
+    rig.done = false;
+    ASSERT_TRUE(
+        rig.cluster.StartRangeMigration(1, r, 1, FastLive(), rig.Done())
+            .ok());
+    rig.sim.RunUntil(rig.sim.Now() + 120.0);
+    ASSERT_TRUE(rig.done);
+    ASSERT_TRUE(rig.report.status.ok()) << rig.report.status.ToString();
+  }
+  // Converged: source instance retired, directory synced to the target.
+  EXPECT_EQ(rig.cluster.TenantOn(0, 1), nullptr);
+  ASSERT_NE(rig.cluster.TenantOn(1, 1), nullptr);
+  EXPECT_EQ(rig.cluster.TenantOn(1, 1)->table().size(), 64u * 1024);
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 1u);
+  EXPECT_EQ(rig.cluster.range_directory()->ServersOf(1),
+            (std::vector<uint64_t>{1}));
+  EXPECT_TRUE(rig.cluster.range_directory()->ValidateCoverage(1).ok());
+}
+
+TEST(RangeMigrationTest, GranularityOneFullRangeJobMatchesWholeTenant) {
+  // Compatibility mode: a single range job over [0, kNoUpperBound)
+  // lands exactly where a whole-tenant migration would.
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  ASSERT_TRUE(rig.cluster
+                  .StartRangeMigration(1, KeyRange{0, kNoUpperBound}, 1,
+                                       FastLive(), rig.Done())
+                  .ok());
+  rig.sim.RunUntil(120.0);
+  ASSERT_TRUE(rig.done);
+  ASSERT_TRUE(rig.report.status.ok()) << rig.report.status.ToString();
+  EXPECT_TRUE(rig.report.digest_match);
+  EXPECT_EQ(rig.cluster.TenantOn(0, 1), nullptr);
+  ASSERT_NE(rig.cluster.TenantOn(1, 1), nullptr);
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 1u);
+  EXPECT_FALSE(rig.cluster.range_directory()->IsSharded(1));
+}
+
+TEST(RangeMigrationTest, RejectsUnregisteredRangeAndBadModes) {
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  // Not a registered unit.
+  EXPECT_EQ(rig.cluster
+                .StartRangeMigration(1, KeyRange{0, 100}, 1, FastLive(),
+                                     rig.Done())
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Empty range fails validation.
+  MigrationOptions bad = FastLive();
+  bad.range_scoped = true;
+  bad.range = KeyRange{100, 100};
+  EXPECT_FALSE(bad.Validate().ok());
+  // Stop-and-copy cannot be range-scoped.
+  bad.range = KeyRange{0, 100};
+  bad.mode = MigrationMode::kStopAndCopy;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(RangeMigrationTest, UnderLoadLosesNoAckedWrite) {
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  workload::YcsbConfig ycsb;
+  ycsb.record_count = 64 * 1024;
+  ycsb.ops_per_txn = 1;  // Single-op txns route exactly by key.
+  ycsb.mean_interarrival = 0.02;
+  workload::YcsbWorkload workload(ycsb, 1, 13);
+  workload::ClientPool pool(&rig.sim, &workload, &rig.cluster,
+                            rig.cluster.MakeLatencyObserver());
+  pool.set_route_by_key(true);
+  rig.cluster.AttachClientPool(1, &pool);
+  pool.Start();
+  rig.sim.RunUntil(3.0);
+
+  const uint64_t mid = 32 * 1024;
+  ASSERT_TRUE(rig.cluster.SplitTenantRange(1, mid).ok());
+  ASSERT_TRUE(rig.cluster
+                  .StartRangeMigration(1, KeyRange{mid, kNoUpperBound}, 1,
+                                       FastLive(32.0), rig.Done())
+                  .ok());
+  rig.sim.RunUntil(150.0);
+  ASSERT_TRUE(rig.done);
+  ASSERT_TRUE(rig.report.status.ok()) << rig.report.status.ToString();
+  pool.Stop();
+  rig.sim.RunUntil(rig.sim.Now() + 20.0);
+  EXPECT_EQ(pool.stats().failed, 0u);
+
+  // Every acknowledged write is present (or superseded) on the range's
+  // current owner.
+  ASSERT_FALSE(pool.acked_writes().empty());
+  RangeDirectory* dir = rig.cluster.range_directory();
+  for (const auto& [key, acked] : pool.acked_writes()) {
+    if (acked.deleted) continue;
+    engine::TenantDb* owner_db =
+        rig.cluster.TenantOn(*dir->OwnerOf(1, key), 1);
+    ASSERT_NE(owner_db, nullptr);
+    const storage::Record* row = owner_db->table().Get(key);
+    ASSERT_NE(row, nullptr) << "lost acked write to key " << key;
+    EXPECT_GE(row->lsn, acked.lsn);
+    if (row->lsn == acked.lsn) EXPECT_EQ(row->digest, acked.digest);
+  }
+}
+
+// --- FluidMigrator --------------------------------------------------
+
+TEST(FluidMigrationTest, MovesWholeTenantRangeByRange) {
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  FluidMigrationOptions options;
+  options.target_ranges = 4;
+  options.migration = FastLive();
+  FluidMigrationReport report;
+  bool done = false;
+  FluidMigrator migrator(&rig.cluster, 1, 1, options,
+                         [&](const FluidMigrationReport& r) {
+                           report = r;
+                           done = true;
+                         });
+  ASSERT_TRUE(migrator.Start().ok());
+  rig.sim.RunUntil(300.0);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_GE(report.ranges_moved, 2u);
+  EXPECT_EQ(report.ranges_moved, report.ranges_planned);
+  EXPECT_GT(report.max_downtime_ms, 0.0);
+  EXPECT_GE(report.total_downtime_ms, report.max_downtime_ms);
+
+  // Converged onto the target, merged back to a single range.
+  EXPECT_EQ(rig.cluster.TenantOn(0, 1), nullptr);
+  ASSERT_NE(rig.cluster.TenantOn(1, 1), nullptr);
+  EXPECT_EQ(rig.cluster.TenantOn(1, 1)->table().size(), 64u * 1024);
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 1u);
+  EXPECT_EQ(rig.cluster.range_directory()->RangeCount(1), 1u);
+  EXPECT_TRUE(rig.cluster.range_directory()->ValidateCoverage(1).ok());
+}
+
+TEST(FluidMigrationTest, GranularityOneIsWholeTenantCompatibilityMode) {
+  RangeRig rig;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+  FluidMigrationOptions options;
+  options.target_ranges = 1;  // No splits: one full-range job.
+  options.migration = FastLive();
+  FluidMigrationReport report;
+  bool done = false;
+  FluidMigrator migrator(&rig.cluster, 1, 1, options,
+                         [&](const FluidMigrationReport& r) {
+                           report = r;
+                           done = true;
+                         });
+  ASSERT_TRUE(migrator.Start().ok());
+  rig.sim.RunUntil(300.0);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.ranges_planned, 1u);
+  EXPECT_EQ(report.ranges_moved, 1u);
+  EXPECT_EQ(rig.cluster.range_directory()->RangeCount(1), 1u);
+  EXPECT_EQ(*rig.cluster.directory()->Lookup(1), 1u);
+}
+
+// --- Auditor range invariants (death tests) ------------------------
+
+TEST(RangeInvariantDeathTest, BadCoverageIsFatal) {
+  InvariantAuditor auditor;
+  auditor.OnRangeCoverage(1, Status::Ok());  // Fine.
+  EXPECT_DEATH(
+      auditor.OnRangeCoverage(1, Status::Internal("hole at key 7")),
+      "range coverage");
+}
+
+TEST(RangeInvariantDeathTest, MisroutedOpIsFatal) {
+  InvariantAuditor auditor;
+  auditor.OnOpRouted(1, 42, 3, 3);  // Owner served: fine.
+  EXPECT_DEATH(auditor.OnOpRouted(1, 42, 2, 3), "owns the range");
+}
+
+// --- Cancel sweep for a single range job ---------------------------
+
+// Mirrors the tenant-level CancelAtEveryPhase sweep: before handover a
+// cancel aborts the range job and the source keeps range ownership; at
+// handover it is too late and the range lands on the target.
+TEST(RangeCancelTest, CancelAtEveryPhase) {
+  const MigrationPhase kPhases[] = {
+      MigrationPhase::kNegotiate, MigrationPhase::kSnapshot,
+      MigrationPhase::kPrepare, MigrationPhase::kDelta,
+      MigrationPhase::kHandover};
+  const uint64_t mid = 32 * 1024;
+  for (const MigrationPhase phase : kPhases) {
+    SCOPED_TRACE(MigrationPhaseName(phase));
+    RangeRig rig;
+    ASSERT_TRUE(rig.cluster.AddTenant(0, SmallTenant()).ok());
+    ASSERT_TRUE(rig.cluster.SplitTenantRange(1, mid).ok());
+    // Live writes keep the delta phase observable.
+    workload::YcsbConfig ycsb;
+    ycsb.record_count = 64 * 1024;
+    ycsb.ops_per_txn = 1;
+    ycsb.mean_interarrival = 0.005;
+    workload::YcsbWorkload workload(ycsb, 1, 9);
+    workload::ClientPool pool(&rig.sim, &workload, &rig.cluster,
+                              rig.cluster.MakeLatencyObserver());
+    pool.set_route_by_key(true);
+    rig.cluster.AttachClientPool(1, &pool);
+    pool.Start();
+    MigrationOptions options = FastLive(16.0);
+    options.prepare.base_seconds = 0.5;
+    options.delta_handover_bytes = 0;
+    ASSERT_TRUE(rig.cluster
+                    .StartRangeMigration(1, KeyRange{mid, kNoUpperBound}, 1,
+                                         options, rig.Done())
+                    .ok());
+    bool cancelled = false;
+    bool too_late = false;
+    while (!rig.done && rig.sim.Now() < 120.0) {
+      MigrationJob* job = rig.cluster.ActiveJob(1);
+      if (job != nullptr && job->phase() == phase) {
+        const Status status = rig.cluster.CancelMigration(1, "range sweep");
+        if (phase == MigrationPhase::kHandover) {
+          EXPECT_EQ(status.code(), StatusCode::kTooLateToCancel);
+          too_late = true;
+        } else {
+          EXPECT_TRUE(status.ok()) << status.ToString();
+          cancelled = true;
+        }
+        break;
+      }
+      rig.sim.RunUntil(rig.sim.Now() + 0.001);
+    }
+    rig.sim.RunUntil(rig.sim.Now() + 60.0);
+    pool.Stop();
+    ASSERT_TRUE(rig.done);
+    RangeDirectory* dir = rig.cluster.range_directory();
+    EXPECT_TRUE(dir->ValidateCoverage(1).ok());
+    if (phase == MigrationPhase::kHandover) {
+      ASSERT_TRUE(too_late);
+      EXPECT_TRUE(rig.report.status.ok()) << rig.report.status.ToString();
+      EXPECT_EQ(*dir->OwnerOf(1, mid), 1u);
+      EXPECT_NE(rig.cluster.TenantOn(1, 1), nullptr);
+    } else {
+      ASSERT_TRUE(cancelled);
+      EXPECT_EQ(rig.report.status.code(), StatusCode::kAborted);
+      // Source keeps the range; no staging residue on the target; the
+      // source serves without any lingering range freeze.
+      EXPECT_EQ(*dir->OwnerOf(1, mid), 0u);
+      ASSERT_NE(rig.cluster.TenantOn(0, 1), nullptr);
+      EXPECT_FALSE(rig.cluster.TenantOn(0, 1)->range_frozen());
+      EXPECT_FALSE(rig.cluster.TenantOn(0, 1)->frozen());
+      EXPECT_EQ(rig.cluster.TenantOn(1, 1), nullptr);
+    }
+  }
+}
+
+// --- Router under churn (property test) ----------------------------
+
+// Randomized split / migrate / merge interleavings with live per-key
+// routed reads and writes: no row is ever lost or double-applied. The
+// RNG is seeded, so a failure replays deterministically.
+TEST(RangeChurnPropertyTest, SplitMigrateMergeNeverLosesOrDoublesRows) {
+  constexpr uint64_t kRecords = 16 * 1024;
+  constexpr int kServers = 3;
+  constexpr int kActions = 40;
+
+  RangeRig rig(kServers);
+  engine::TenantConfig config = SmallTenant();
+  config.layout.record_count = kRecords;
+  ASSERT_TRUE(rig.cluster.AddTenant(0, config).ok());
+
+  workload::YcsbConfig ycsb;
+  ycsb.record_count = kRecords;
+  ycsb.ops_per_txn = 1;
+  ycsb.mean_interarrival = 0.01;
+  workload::YcsbWorkload workload(ycsb, 1, 31);
+  workload::ClientPool pool(&rig.sim, &workload, &rig.cluster,
+                            rig.cluster.MakeLatencyObserver());
+  pool.set_route_by_key(true);
+  rig.cluster.AttachClientPool(1, &pool);
+  pool.Start();
+
+  Rng rng(0xC0FFEE);
+  RangeDirectory* dir = rig.cluster.range_directory();
+  int migrations_launched = 0;
+  for (int action = 0; action < kActions; ++action) {
+    rig.sim.RunUntil(rig.sim.Now() + 1.5);
+    const uint64_t key = rng.NextBelow(kRecords - 2) + 1;
+    switch (rng.NextBelow(3)) {
+      case 0:
+        // Ignore failures: the key may already be a boundary.
+        (void)rig.cluster.SplitTenantRange(1, key);
+        break;
+      case 1: {
+        const Result<OwnedRange> owned = dir->RangeContaining(1, key);
+        if (!owned.ok()) break;
+        const uint64_t target = rng.NextBelow(kServers);
+        if (target == owned->server) break;
+        // Busy tenants reject a second concurrent job; that is fine.
+        const Status started = rig.cluster.StartRangeMigration(
+            1, owned->range, target, FastLive(128.0),
+            [](const MigrationReport&) {});
+        if (started.ok()) ++migrations_launched;
+        break;
+      }
+      case 2:
+        (void)rig.cluster.MergeTenantRange(1, key);
+        break;
+    }
+    EXPECT_TRUE(dir->ValidateCoverage(1).ok());
+  }
+  ASSERT_GT(migrations_launched, 3);
+  // Quiesce: let the last migration and every in-flight op drain.
+  rig.sim.RunUntil(rig.sim.Now() + 120.0);
+  pool.Stop();
+  rig.sim.RunUntil(rig.sim.Now() + 30.0);
+
+  EXPECT_TRUE(dir->ValidateCoverage(1).ok());
+  EXPECT_GT(rig.cluster.auditor()->checks_passed(), 0u);
+
+  // No double-apply: no key may exist on two instances at once.
+  uint64_t total_rows = 0;
+  for (uint64_t key = 0; key < kRecords; ++key) {
+    int copies = 0;
+    for (int s = 0; s < kServers; ++s) {
+      engine::TenantDb* db = rig.cluster.TenantOn(s, 1);
+      if (db != nullptr && db->table().Get(key) != nullptr) ++copies;
+    }
+    EXPECT_LE(copies, 1) << "key " << key << " double-applied";
+    total_rows += copies;
+  }
+  // No loss: preloaded rows are all still there (the single-op YCSB
+  // stream updates and reads; deletes are checked via acks below).
+  // Every acknowledged write survives on the range's current owner.
+  for (const auto& [key, acked] : pool.acked_writes()) {
+    if (acked.deleted) continue;
+    const Result<uint64_t> owner = dir->OwnerOf(1, key);
+    ASSERT_TRUE(owner.ok());
+    engine::TenantDb* db = rig.cluster.TenantOn(*owner, 1);
+    ASSERT_NE(db, nullptr);
+    const storage::Record* row = db->table().Get(key);
+    ASSERT_NE(row, nullptr) << "lost acked write to key " << key;
+    EXPECT_GE(row->lsn, acked.lsn);
+    if (row->lsn == acked.lsn) EXPECT_EQ(row->digest, acked.digest);
+  }
+  // Conservation: the default mix has no inserts or deletes, so after
+  // quiescing every preloaded row exists exactly once fleet-wide.
+  EXPECT_EQ(total_rows, kRecords);
+}
+
+}  // namespace
+}  // namespace slacker
